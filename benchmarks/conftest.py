@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper table gets one benchmark module.  Scale is controlled by
+``REPRO_SCALE`` / ``REPRO_NS`` (see ``repro.experiments.runner``); the
+CI default keeps each table in the seconds range.  Each benchmark
+
+1. re-runs the table's experiment sweep inside ``pytest-benchmark``,
+2. prints the regenerated table next to the paper's reference values,
+3. asserts the paper-shape properties (``check_table_shape``).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+    REPRO_SCALE=large pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import check_table_shape, run_table, scale_dimensions
+
+
+def bench_paper_table(benchmark, number: int, algorithm_factory=None):
+    """Benchmark + validate one paper table at the configured scale."""
+    ns = scale_dimensions()
+
+    def regenerate():
+        return run_table(number, ns=ns, algorithm_factory=algorithm_factory)
+
+    table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    problems = check_table_shape(number, table)
+    assert not problems, problems
+    return table
+
+
+@pytest.fixture
+def paper_table():
+    return bench_paper_table

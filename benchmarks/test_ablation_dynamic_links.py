@@ -1,0 +1,72 @@
+"""Ablation: what do the dynamic links buy? (paper, Section 3)
+
+Compares the fully-adaptive algorithm against its static underlying
+scheme ([BGSS89]/[Kon90]-style) under complement traffic, and checks
+the paper's qualitative motivation: without dynamic links, phase-A
+congestion concentrates near node 1...1; with them it disappears and
+latencies drop.
+"""
+
+from repro.analysis import format_rows, occupancy_by_level
+from repro.routing import HypercubeAdaptiveRouting, HypercubeHungRouting
+from repro.sim import (
+    ComplementTraffic,
+    DynamicInjection,
+    PacketSimulator,
+    StaticInjection,
+    make_rng,
+)
+from repro.topology import Hypercube
+
+N_DIM = 5
+
+
+def run_pair():
+    cube = Hypercube(N_DIM)
+    out = {}
+    for factory in (HypercubeAdaptiveRouting, HypercubeHungRouting):
+        alg = factory(cube)
+        inj = StaticInjection(N_DIM, ComplementTraffic(cube), make_rng(0))
+        out[alg.name] = PacketSimulator(alg, inj).run(max_cycles=100_000)
+    return cube, out
+
+
+def test_ablation_dynamic_links_latency(benchmark):
+    cube, results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    rows = [r.row() for r in results.values()]
+    print()
+    print(format_rows(rows))
+    adaptive = results["hypercube-adaptive"]
+    hung = results["hypercube-hung"]
+    # Dynamic links must strictly help under complement pressure.
+    assert adaptive.l_avg < hung.l_avg
+    assert adaptive.l_max <= hung.l_max
+
+
+def run_occupancy():
+    cube = Hypercube(N_DIM)
+    out = {}
+    for factory in (HypercubeAdaptiveRouting, HypercubeHungRouting):
+        alg = factory(cube)
+        inj = DynamicInjection(
+            1.0, ComplementTraffic(cube), make_rng(1), duration=300, warmup=100
+        )
+        sim = PacketSimulator(alg, inj, collect_occupancy=True)
+        out[alg.name] = sim.run()
+    return cube, out
+
+
+def test_ablation_dynamic_links_congestion(benchmark):
+    """The hung scheme piles phase-A packets up near 1...1; the
+    adaptive scheme flattens the profile."""
+    cube, results = benchmark.pedantic(run_occupancy, rounds=1, iterations=1)
+    print()
+    for name, res in results.items():
+        prof = occupancy_by_level(res, cube, kind="A")
+        print(f"{name}: qA occupancy by level "
+              + " ".join(f"{l}:{v:.2f}" for l, v in prof.items()))
+    hung = occupancy_by_level(results["hypercube-hung"], cube, kind="A")
+    adaptive = occupancy_by_level(results["hypercube-adaptive"], cube, kind="A")
+    top = max(hung)
+    # Congestion at the deepest levels is worse without dynamic links.
+    assert hung[top - 1] + hung[top] > adaptive[top - 1] + adaptive[top]

@@ -1,0 +1,50 @@
+"""Ablation: offered-load curves (beyond the paper's lambda=1 point).
+
+The paper reports only the saturating operating point; this benchmark
+traces the full latency-vs-load curve for the adaptive algorithm and
+the oblivious restriction under random traffic, confirming that
+
+* at low load both sit on the uncontended 2h+1 law,
+* the adaptive router saturates at a strictly higher accepted load.
+"""
+
+from repro.analysis import format_rows, load_sweep, saturation_throughput
+from repro.routing import HypercubeAdaptiveRouting, HypercubeObliviousRouting
+from repro.sim import hypercube_pattern, make_rng
+from repro.topology import Hypercube
+
+N_DIM = 5
+RATES = (0.1, 0.3, 0.6, 1.0)
+
+
+def run_curves():
+    cube = Hypercube(N_DIM)
+    out = {}
+    for factory in (HypercubeAdaptiveRouting, HypercubeObliviousRouting):
+        out[factory(cube).name] = load_sweep(
+            lambda f=factory: f(cube),
+            lambda: hypercube_pattern("transpose", cube, make_rng(0)),
+            rates=RATES,
+            duration=300,
+            warmup=100,
+            seed=11,
+        )
+    return out
+
+
+def test_ablation_load_curve(benchmark):
+    curves = benchmark.pedantic(run_curves, rounds=1, iterations=1)
+    print()
+    for name, points in curves.items():
+        print(name)
+        print(format_rows([p.row() for p in points]))
+    adaptive = curves["hypercube-adaptive"]
+    oblivious = curves["hypercube-oblivious"]
+    # Low load: both near the uncontended latency.
+    assert adaptive[0].l_avg < 2 * (N_DIM / 2) + 4
+    # Adaptive sustains at least the oblivious accepted throughput.
+    assert saturation_throughput(adaptive) >= saturation_throughput(
+        oblivious
+    ) - 1e-9
+    # And is no slower at the saturating point.
+    assert adaptive[-1].l_avg <= oblivious[-1].l_avg + 0.5

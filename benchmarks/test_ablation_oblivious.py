@@ -1,0 +1,61 @@
+"""Ablation: full adaptivity vs oblivious routing.
+
+The paper argues (Section 1) that oblivious minimal routing cannot
+achieve optimal performance; this benchmark quantifies the gap on the
+adversarial permutations with the queue structure held fixed (the
+oblivious baseline is the deterministic restriction of the same hung
+scheme), plus the structured-buffer-pool upper-bound comparator.
+"""
+
+from repro.analysis import format_rows
+from repro.routing import (
+    HypercubeAdaptiveRouting,
+    HypercubeObliviousRouting,
+    StructuredBufferPoolRouting,
+)
+from repro.sim import (
+    PacketSimulator,
+    StaticInjection,
+    hypercube_pattern,
+    make_rng,
+)
+from repro.topology import Hypercube
+
+N_DIM = 5
+FACTORIES = (
+    HypercubeAdaptiveRouting,
+    HypercubeObliviousRouting,
+    StructuredBufferPoolRouting,
+)
+
+
+def run_grid():
+    cube = Hypercube(N_DIM)
+    results = {}
+    for pattern_name in ("complement", "transpose"):
+        for factory in FACTORIES:
+            alg = factory(cube)
+            pattern = hypercube_pattern(pattern_name, cube, make_rng(0))
+            inj = StaticInjection(N_DIM, pattern, make_rng(0))
+            results[(pattern_name, alg.name)] = PacketSimulator(alg, inj).run(
+                max_cycles=200_000
+            )
+    return results
+
+
+def test_ablation_oblivious(benchmark):
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = [
+        {"pattern": p, **r.row()}
+        for (p, _a), r in sorted(results.items(), key=lambda kv: kv[0])
+    ]
+    print()
+    print(format_rows(rows))
+    for pattern in ("complement", "transpose"):
+        adaptive = results[(pattern, "hypercube-adaptive")]
+        oblivious = results[(pattern, "hypercube-oblivious")]
+        # Full adaptivity must clearly beat the oblivious restriction.
+        assert adaptive.l_avg < oblivious.l_avg, pattern
+        # And approach the resource-rich buffer-pool comparator.
+        pool = results[(pattern, f"structured-buffer-pool({N_DIM + 1})")]
+        assert adaptive.l_avg <= 2.5 * pool.l_avg, pattern

@@ -1,0 +1,30 @@
+"""Figure 1: QDG of the 3-hypercube hung from 000 with dynamic links.
+
+Regenerates the figure structurally (queues, static/dynamic edges,
+DOT rendering) and validates its defining properties: the static
+sub-QDG is a DAG, the dynamic links close cycles, and every dynamic
+link corrects a 1 into a 0 inside phase A.
+"""
+
+import networkx as nx
+
+from repro.analysis import figure1_hypercube_qdg
+
+
+def test_fig01_hypercube_qdg(benchmark):
+    fig = benchmark.pedantic(figure1_hypercube_qdg, rounds=1, iterations=1)
+    print()
+    print(fig.text)
+
+    assert fig.stats["queues"] == 32  # 8 nodes x {inj, A, B, del}
+    assert fig.stats["dynamic_edges"] > 0
+    static = nx.DiGraph(
+        (u, v) for u, v, d in fig.graph.edges(data="dynamic") if not d
+    )
+    assert nx.is_directed_acyclic_graph(static)
+    assert not nx.is_directed_acyclic_graph(fig.graph)
+    for u, v, dyn in fig.graph.edges(data="dynamic"):
+        if dyn:
+            assert u.kind == "A" and v.kind == "A"
+            assert bin(u.node).count("1") == bin(v.node).count("1") + 1
+    assert "digraph" in fig.dot and "style=dashed" in fig.dot

@@ -1,0 +1,33 @@
+"""Figure 2: QDG of the 3x3 mesh hung from (0,0) with dynamic links.
+
+Checks the two-phase hung structure: static phase-A edges ascend the
+level x+y, static phase-B edges descend it, dynamic links are A->A
+minimal descents.
+"""
+
+import networkx as nx
+
+from repro.analysis import figure2_mesh_qdg
+
+
+def test_fig02_mesh_qdg(benchmark):
+    fig = benchmark.pedantic(figure2_mesh_qdg, rounds=1, iterations=1)
+    print()
+    print(fig.text)
+
+    assert fig.stats["queues"] == 36  # 9 nodes x 4 queues
+    assert fig.stats["dynamic_edges"] > 0
+    static = nx.DiGraph(
+        (u, v) for u, v, d in fig.graph.edges(data="dynamic") if not d
+    )
+    assert nx.is_directed_acyclic_graph(static)
+    for u, v, dyn in fig.graph.edges(data="dynamic"):
+        if u.is_injection or v.is_delivery or u.node == v.node:
+            continue
+        lu, lv = sum(u.node), sum(v.node)
+        if dyn:
+            assert u.kind == "A" and v.kind == "A" and lv == lu - 1
+        elif u.kind == "A" and v.kind == "A":
+            assert lv == lu + 1
+        elif u.kind == "B" and v.kind == "B":
+            assert lv == lu - 1

@@ -1,0 +1,38 @@
+"""Figure 3: QDG of the 8-node shuffle-exchange with dynamic links.
+
+Checks the two-phase cycle-broken structure: 4 central queues per
+node, static acyclicity, and that phase-1 static exchanges raise the
+cycle level while dynamic exchanges lower it.
+"""
+
+import networkx as nx
+
+from repro.analysis import figure3_shuffle_qdg
+
+
+def test_fig03_shuffle_qdg(benchmark):
+    fig = benchmark.pedantic(figure3_shuffle_qdg, rounds=1, iterations=1)
+    print()
+    print(fig.text)
+
+    assert fig.stats["queues"] == 48  # 8 nodes x {inj, 4 centrals, del}
+    static = nx.DiGraph(
+        (u, v) for u, v, d in fig.graph.edges(data="dynamic") if not d
+    )
+    assert nx.is_directed_acyclic_graph(static)
+    weight = lambda q: bin(q.node).count("1")
+    for u, v, dyn in fig.graph.edges(data="dynamic"):
+        if not u.is_central or not v.is_central:
+            continue
+        if u.node == v.node:
+            continue
+        exchange = v.node == (u.node ^ 1)
+        if dyn:
+            # Dynamic links: early 1->0 corrections in phase 1.
+            assert exchange
+            assert u.kind.startswith("P1") and v.kind.startswith("P1")
+            assert weight(v) == weight(u) - 1
+        elif exchange and u.kind.startswith("P1") and v.kind.startswith("P1"):
+            assert weight(v) == weight(u) + 1  # mandatory 0->1
+        elif exchange and u.kind.startswith("P2"):
+            assert weight(v) == weight(u) - 1  # phase-2 1->0

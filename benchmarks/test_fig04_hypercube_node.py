@@ -1,0 +1,23 @@
+"""Figure 4: the functional design of node 0101 of the 4-hypercube.
+
+Derives the node's buffer layout from the routing function itself and
+validates it against the paper's description: two central queues;
+down-links (toward 1111) carry only static-A traffic, up-links carry
+static-B plus dynamic-A traffic.
+"""
+
+from repro.analysis import figure4_hypercube_node
+
+
+def test_fig04_hypercube_node(benchmark):
+    fig = benchmark.pedantic(figure4_hypercube_node, rounds=1, iterations=1)
+    print()
+    print(fig.text)
+
+    assert fig.stats["central_queues"] == 2
+    assert fig.stats["out_links"] == 4 and fig.stats["in_links"] == 4
+    # 0101: dims 1, 3 are down-links (1 buffer), dims 0, 2 up (2 each):
+    # (1+2+1+2) output + same input = 12 buffers.
+    assert fig.stats["buffers"] == 12
+    assert "out link#1 -> 0111: A" in fig.text
+    assert "out link#0 -> 0100: B, dyn" in fig.text

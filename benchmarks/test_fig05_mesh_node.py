@@ -1,0 +1,18 @@
+"""Figure 5: the functional design of a mesh routing node.
+
+An interior node of the 4x4 mesh under the fully-adaptive two-phase
+algorithm: two central queues, four links, A/B/dyn traffic classes.
+"""
+
+from repro.analysis import figure5_mesh_node
+
+
+def test_fig05_mesh_node(benchmark):
+    fig = benchmark.pedantic(figure5_mesh_node, rounds=1, iterations=1)
+    print()
+    print(fig.text)
+
+    assert fig.stats["central_queues"] == 2
+    assert fig.stats["out_links"] == 4  # interior node
+    assert "A(cap=5)" in fig.text and "B(cap=5)" in fig.text
+    assert "dyn" in fig.text

@@ -1,0 +1,19 @@
+"""Figure 6: the functional design of a shuffle-exchange routing node.
+
+Node 001 of the 8-node shuffle-exchange: four central queues (two
+phases x two cycle-breaking classes), one exchange link and one
+shuffle link out.
+"""
+
+from repro.analysis import figure6_shuffle_node
+
+
+def test_fig06_shuffle_node(benchmark):
+    fig = benchmark.pedantic(figure6_shuffle_node, rounds=1, iterations=1)
+    print()
+    print(fig.text)
+
+    assert fig.stats["central_queues"] == 4
+    assert fig.stats["out_links"] == 2  # exchange + shuffle
+    for kind in ("P1C0", "P1C1", "P2C0", "P2C1"):
+        assert kind in fig.text

@@ -1,0 +1,70 @@
+"""Extended evaluation: the paper's promised "other topologies" tables.
+
+Section 7 ends with "Simulations on higher-dimensional hypercubes and
+other topologies will be reported soon."  These benchmarks produce
+those tables for the mesh, torus, shuffle-exchange, and CCC
+algorithms, and assert the cross-topology shape properties:
+
+* every packet is delivered (deadlock freedom under load);
+* static 1-packet latencies track the topology diameter (2h+1 law);
+* adversarial permutations cost more than uniform random traffic.
+"""
+
+import pytest
+
+from repro.analysis import format_rows
+from repro.experiments.other_topologies import FAMILIES, family_table, run_cell
+
+
+@pytest.mark.parametrize("key", list(FAMILIES))
+def test_static_random_table(key, benchmark):
+    rows = benchmark.pedantic(
+        lambda: family_table(key, "random", "static", packets=2),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n{key}: static random, 2 packets/node")
+    print(format_rows(rows))
+    family = FAMILIES[key]
+    for row in rows:
+        topo = family.build(row["size"])
+        # 2h+1 law bounds the max latency by the saturated diameter
+        # path plus queueing slack.
+        assert row["L_avg"] >= 3.0
+        assert row["L_max"] <= 6 * (2 * topo.diameter + 1)
+    # Latency grows with size within the family.
+    assert rows[-1]["L_avg"] >= rows[0]["L_avg"] - 0.5
+
+
+@pytest.mark.parametrize("key", list(FAMILIES))
+def test_dynamic_adversary_table(key, benchmark):
+    rows = benchmark.pedantic(
+        lambda: family_table(key, "adversary", "dynamic"),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n{key}: dynamic lambda=1, adversarial permutation")
+    print(format_rows(rows))
+    for row in rows:
+        assert 0 < row["I_r(%)"] <= 100.0
+
+
+def test_adversary_costs_more_than_random(benchmark):
+    """On the largest default size of each family, the adversarial
+    permutation saturates no later than uniform random traffic."""
+
+    def run_all():
+        out = {}
+        for key, family in FAMILIES.items():
+            size = family.sizes[-1]
+            out[key] = (
+                run_cell(family, size, "random", "dynamic"),
+                run_cell(family, size, "adversary", "dynamic"),
+            )
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for key, (rnd, adv) in results.items():
+        assert (
+            adv.injection_rate <= rnd.injection_rate + 0.05
+        ), f"{key}: adversary easier than random?"

@@ -1,0 +1,12 @@
+"""Table 1: Random Routing, 1 packet per node (static injection).
+
+Regenerates the paper's Table 1 (hypercube, fully-adaptive
+algorithm) at the configured scale and checks its shape against the
+published reference values.
+"""
+
+from conftest import bench_paper_table
+
+
+def test_table01_random_1pkt(benchmark):
+    bench_paper_table(benchmark, 1)

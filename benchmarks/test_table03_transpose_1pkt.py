@@ -1,0 +1,12 @@
+"""Table 3: Transpose permutation, 1 packet per node (static injection).
+
+Regenerates the paper's Table 3 (hypercube, fully-adaptive
+algorithm) at the configured scale and checks its shape against the
+published reference values.
+"""
+
+from conftest import bench_paper_table
+
+
+def test_table03_transpose_1pkt(benchmark):
+    bench_paper_table(benchmark, 3)

@@ -1,0 +1,12 @@
+"""Table 4: Leveled permutation, 1 packet per node (static injection).
+
+Regenerates the paper's Table 4 (hypercube, fully-adaptive
+algorithm) at the configured scale and checks its shape against the
+published reference values.
+"""
+
+from conftest import bench_paper_table
+
+
+def test_table04_leveled_1pkt(benchmark):
+    bench_paper_table(benchmark, 4)

@@ -1,0 +1,12 @@
+"""Table 5: Random Routing, n packets per node (static injection).
+
+Regenerates the paper's Table 5 (hypercube, fully-adaptive
+algorithm) at the configured scale and checks its shape against the
+published reference values.
+"""
+
+from conftest import bench_paper_table
+
+
+def test_table05_random_npkt(benchmark):
+    bench_paper_table(benchmark, 5)

@@ -1,0 +1,12 @@
+"""Table 6: Complement permutation, n packets per node (static injection).
+
+Regenerates the paper's Table 6 (hypercube, fully-adaptive
+algorithm) at the configured scale and checks its shape against the
+published reference values.
+"""
+
+from conftest import bench_paper_table
+
+
+def test_table06_complement_npkt(benchmark):
+    bench_paper_table(benchmark, 6)

@@ -1,0 +1,12 @@
+"""Table 9: Random Routing, dynamic injection at lambda=1.
+
+Regenerates the paper's Table 9 (hypercube, fully-adaptive
+algorithm) at the configured scale and checks its shape against the
+published reference values.
+"""
+
+from conftest import bench_paper_table
+
+
+def test_table09_random_dynamic(benchmark):
+    bench_paper_table(benchmark, 9)

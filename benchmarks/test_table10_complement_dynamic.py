@@ -1,0 +1,12 @@
+"""Table 10: Complement permutation, dynamic injection at lambda=1.
+
+Regenerates the paper's Table 10 (hypercube, fully-adaptive
+algorithm) at the configured scale and checks its shape against the
+published reference values.
+"""
+
+from conftest import bench_paper_table
+
+
+def test_table10_complement_dynamic(benchmark):
+    bench_paper_table(benchmark, 10)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Full adaptivity on a path-rich multistage network (Beneš).
+
+The paper's introduction points at Upfal's multibutterfly — networks
+"extremely rich in the number of minimal paths" — as the setting where
+full adaptivity shines.  The Beneš network is the constructive classic
+of that family: 2**n distinct minimal paths between every input/output
+pair, and because all links point forward through the levels, the
+queue dependency graph is acyclic with a SINGLE central queue per
+node: the levels are a ready-made hanging order.
+
+This demo verifies the scheme, counts the realizable paths, and
+compares adaptive vs bit-controlled oblivious routing under a heavy
+random load.
+
+Run:  python examples/benes_multistage_demo.py
+"""
+
+from repro.core import (
+    minimal_node_paths,
+    realizable_node_paths,
+    verify_algorithm,
+)
+from repro.routing import (
+    BenesAdaptiveRouting,
+    BenesObliviousRouting,
+    BenesTraffic,
+)
+from repro.sim import DynamicInjection, PacketSimulator, make_rng
+from repro.topology import BenesNetwork
+
+
+def main() -> None:
+    b = BenesNetwork(2)
+    alg = BenesAdaptiveRouting(b)
+    report = verify_algorithm(
+        alg, sources=b.inputs(), destinations=b.outputs()
+    )
+    print("verification:", report.summary())
+    assert report.ok
+
+    src, dst = (0, 1), (4, 2)
+    paths = realizable_node_paths(alg, src, dst)
+    print(f"\n{src} -> {dst}: {len(paths)} realizable minimal paths "
+          f"(= all {len(minimal_node_paths(b, src, dst))} of them)")
+    for p in sorted(paths):
+        print("  " + " -> ".join(f"L{l}r{r}" for l, r in p))
+
+    print("\nrandom input->output traffic at lambda = 0.9, Benes(4):")
+    big = BenesNetwork(4)
+    results = {}
+    for cls in (BenesAdaptiveRouting, BenesObliviousRouting):
+        inj = DynamicInjection(
+            0.9, BenesTraffic(big), make_rng(5), duration=400, warmup=100
+        )
+        res = PacketSimulator(cls(big), inj).run()
+        results[cls.__name__] = res
+        print(f"  {cls.__name__:24s}: L_avg={res.l_avg:6.2f} "
+              f"L_max={res.l_max:3d}  I_r={100 * res.injection_rate:.0f}%")
+
+    print("\nNote the tie — and why it is interesting: the straight"
+          "\noblivious choice keeps the free half conflict-free (rows stay"
+          "\ndistinct), so greedy adaptivity has nothing to fix; Benes"
+          "\ncongestion lives entirely in the forced half, which both"
+          "\nschemes share.  Contrast with the cube/mesh ablations, where"
+          "\nthe oblivious restriction costs 2-4x.  Beating the greedy"
+          "\nschemes here needs global path configuration (the classic"
+          "\nBenes looping algorithm) — beyond any local routing function.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Traffic study: the paper's four patterns on one hypercube.
+
+Reproduces a slice of Section 7: runs random, complement, transpose,
+and leveled-permutation traffic under both injection models on an
+n-cube and prints paper-style result rows.  The orderings the paper
+reports — complement is the hardest pattern, injection rates fall as
+congestion rises — are visible at this scale already.
+
+Run:  python examples/hypercube_traffic_study.py [n]
+"""
+
+import sys
+
+from repro.analysis import format_rows
+from repro.experiments import HypercubeExperiment
+
+
+def main(n: int = 6) -> None:
+    patterns = ("random", "complement", "transpose", "leveled")
+
+    print(f"=== static injection, 1 packet per node (n = {n}) ===")
+    rows = []
+    for pattern in patterns:
+        exp = HypercubeExperiment(pattern=pattern, injection="static",
+                                  packets_per_node=1, seed=7)
+        res = exp.run(n)
+        rows.append(res.row())
+    print(format_rows(rows, ["pattern", "L_avg", "L_max", "delivered"]))
+
+    print(f"\n=== dynamic injection, lambda = 1 (n = {n}) ===")
+    rows = []
+    for pattern in patterns:
+        exp = HypercubeExperiment(pattern=pattern, injection="dynamic",
+                                  rate=1.0, seed=7)
+        res = exp.run(n)
+        row = res.row()
+        rows.append(row)
+    print(format_rows(rows, ["pattern", "L_avg", "L_max", "I_r(%)"]))
+
+    print("\nPaper shape: complement saturates the bisection, so it shows"
+          "\nthe largest latencies and the lowest effective injection rate;"
+          "\nrandom and leveled stay close to the uncontended 2h+1 law.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 6)

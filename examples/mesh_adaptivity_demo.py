@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Section 4's motivating example, made concrete.
+
+A message heading "north-west" — one coordinate must grow, the other
+shrink — has exactly ONE route under the restricted two-phase mesh
+scheme, but all C(dx+dy, dx) minimal routes under the fully-adaptive
+extension, at the same cost of two central queues per node.  This
+script counts the routes, draws one, and then shows the performance
+consequence under transpose traffic.
+
+Run:  python examples/mesh_adaptivity_demo.py
+"""
+
+from repro.core import minimal_node_paths, node_path, realizable_node_paths
+from repro.routing import Mesh2DAdaptiveRouting, Mesh2DRestrictedRouting
+from repro.sim import (
+    MeshTransposeTraffic,
+    PacketSimulator,
+    StaticInjection,
+    make_rng,
+)
+from repro.topology import Mesh2D
+
+
+def main() -> None:
+    mesh = Mesh2D(5)
+    src, dst = (4, 0), (0, 4)  # pure north-west traversal
+
+    restricted = Mesh2DRestrictedRouting(mesh)
+    adaptive = Mesh2DAdaptiveRouting(mesh)
+
+    all_min = minimal_node_paths(mesh, src, dst)
+    r_paths = realizable_node_paths(restricted, src, dst)
+    a_paths = realizable_node_paths(adaptive, src, dst)
+
+    print(f"{src} -> {dst} on {mesh.name}:")
+    print(f"  minimal paths available:   {len(all_min)}")
+    print(f"  restricted scheme reaches: {len(r_paths)}")
+    print(f"  adaptive scheme reaches:   {len(a_paths)}")
+    assert a_paths == all_min
+
+    print("\nthe restricted scheme's only route:")
+    (only,) = r_paths
+    print("  " + " -> ".join(map(str, only)))
+
+    print("\none adaptive alternative:")
+    alt = sorted(a_paths - r_paths)[0]
+    print("  " + " -> ".join(map(str, alt)))
+
+    # Performance under transpose traffic (every (x,y) -> (y,x)).
+    print("\ntranspose traffic, 4 packets per node:")
+    for alg in (adaptive, restricted):
+        inj = StaticInjection(4, MeshTransposeTraffic(mesh), make_rng(0))
+        res = PacketSimulator(alg, inj).run(max_cycles=100_000)
+        print(f"  {alg.name:18s}: L_avg = {res.l_avg:6.2f},"
+              f" L_max = {res.l_max}")
+
+
+if __name__ == "__main__":
+    main()

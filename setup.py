@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file lets ``pip install -e .``
+work on toolchains without PEP-660 editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

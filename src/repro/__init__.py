@@ -1,0 +1,33 @@
+"""repro: fully-adaptive minimal deadlock-free packet routing.
+
+Reproduction of Pifarré, Gravano, Felperin & Sanz,
+*"Fully-Adaptive Minimal Deadlock-Free Packet Routing in Hypercubes,
+Meshes, and Other Networks"*, SPAA 1991.
+
+Public surface
+--------------
+* :mod:`repro.topology` — hypercube, mesh, torus, shuffle-exchange;
+* :mod:`repro.routing` — the paper's algorithms and baselines;
+* :mod:`repro.core` — routing-function framework, QDGs, machine
+  verification of the deadlock-freedom conditions;
+* :mod:`repro.node` — the Section-6 node designs;
+* :mod:`repro.sim` — the Section-7 cycle-accurate simulator;
+* :mod:`repro.experiments` — the paper's Tables 1-12 as runnable
+  experiments;
+* :mod:`repro.analysis` — table/figure rendering and occupancy studies.
+"""
+
+from . import analysis, core, experiments, node, routing, sim, topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "experiments",
+    "node",
+    "routing",
+    "sim",
+    "topology",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Analysis and reporting: paper tables, figures, occupancy studies."""
+
+from .figures import (
+    ALL_FIGURES,
+    FigureBundle,
+    figure1_hypercube_qdg,
+    figure2_mesh_qdg,
+    figure3_shuffle_qdg,
+    figure4_hypercube_node,
+    figure5_mesh_node,
+    figure6_shuffle_node,
+    node_design_figure,
+    qdg_figure,
+    qdg_to_dot,
+)
+from .occupancy import (
+    occupancy_by_level,
+    peak_occupancy_by_level,
+    top_congested_nodes,
+)
+from .sweeps import LoadPoint, knee_load, load_sweep, saturation_throughput
+from .tables import PaperTable, TableRow, format_rows
+
+__all__ = [
+    "PaperTable",
+    "TableRow",
+    "format_rows",
+    "FigureBundle",
+    "qdg_to_dot",
+    "qdg_figure",
+    "node_design_figure",
+    "figure1_hypercube_qdg",
+    "figure2_mesh_qdg",
+    "figure3_shuffle_qdg",
+    "figure4_hypercube_node",
+    "figure5_mesh_node",
+    "figure6_shuffle_node",
+    "ALL_FIGURES",
+    "occupancy_by_level",
+    "peak_occupancy_by_level",
+    "top_congested_nodes",
+    "LoadPoint",
+    "load_sweep",
+    "saturation_throughput",
+    "knee_load",
+]

@@ -1,0 +1,68 @@
+"""Queue-occupancy analysis.
+
+The paper motivates the dynamic links by the congestion that builds
+around node ``1...1`` when phase-A messages must finish all their
+0 -> 1 corrections before any 1 -> 0 correction.  These helpers
+aggregate the simulator's occupancy samples by node level so that the
+effect (and its disappearance under the fully-adaptive scheme) can be
+measured directly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable
+
+from ..sim.metrics import SimulationResult
+from ..topology.hypercube import Hypercube, hamming_weight
+
+
+def occupancy_by_level(
+    result: SimulationResult, topology: Hypercube, kind: str | None = None
+) -> dict[int, float]:
+    """Mean central-queue occupancy per node level (Hamming weight).
+
+    ``kind`` restricts to one queue kind (e.g. ``"A"``); ``None``
+    aggregates all central queues of a node.
+    """
+    mean = result.occupancy.get("mean", {})
+    if not mean:
+        raise ValueError(
+            "run the simulator with collect_occupancy=True to use this"
+        )
+    total: dict[int, float] = defaultdict(float)
+    count: dict[int, int] = defaultdict(int)
+    for (node, k), value in mean.items():
+        if kind is not None and k != kind:
+            continue
+        lvl = hamming_weight(node)
+        total[lvl] += value
+        count[lvl] += 1
+    return {lvl: total[lvl] / count[lvl] for lvl in sorted(total)}
+
+
+def peak_occupancy_by_level(
+    result: SimulationResult, topology: Hypercube, kind: str | None = None
+) -> dict[int, int]:
+    """Maximum observed occupancy per node level."""
+    peak = result.occupancy.get("peak", {})
+    if not peak:
+        raise ValueError(
+            "run the simulator with collect_occupancy=True to use this"
+        )
+    out: dict[int, int] = defaultdict(int)
+    for (node, k), value in peak.items():
+        if kind is not None and k != kind:
+            continue
+        lvl = hamming_weight(node)
+        out[lvl] = max(out[lvl], value)
+    return dict(sorted(out.items()))
+
+
+def top_congested_nodes(
+    result: SimulationResult, top: int = 5
+) -> list[tuple[Hashable, str, float]]:
+    """The ``top`` (node, kind, mean occupancy) hot spots."""
+    mean = result.occupancy.get("mean", {})
+    ranked = sorted(mean.items(), key=lambda kv: -kv[1])[:top]
+    return [(node, kind, value) for (node, kind), value in ranked]

@@ -1,0 +1,94 @@
+"""Paper-style table rendering.
+
+Formats simulation sweeps the way the paper prints Tables 1-12:
+one row per hypercube dimension with ``n``, ``N``, ``L_avg``,
+``L_max`` and (for dynamic injection) ``I_r (%)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..sim.metrics import SimulationResult
+
+
+@dataclass
+class TableRow:
+    """One row of a paper-style results table."""
+
+    n: int
+    N: int
+    l_avg: float
+    l_max: int
+    i_r: float | None = None  #: percentage, ``None`` for static tables
+
+    def cells(self, dynamic: bool) -> list[str]:
+        out = [str(self.n), str(self.N), f"{self.l_avg:.2f}", str(self.l_max)]
+        if dynamic:
+            out.append("-" if self.i_r is None else f"{self.i_r:.0f}")
+        return out
+
+
+@dataclass
+class PaperTable:
+    """A reproduced table plus the paper's reference values."""
+
+    title: str
+    rows: list[TableRow] = field(default_factory=list)
+    reference: list[TableRow] = field(default_factory=list)
+    dynamic: bool = False
+
+    def add_result(self, n: int, result: SimulationResult) -> None:
+        i_r = None
+        if self.dynamic and result.attempts:
+            i_r = 100.0 * result.injection_rate
+        self.rows.append(
+            TableRow(n=n, N=1 << n, l_avg=result.l_avg, l_max=result.l_max, i_r=i_r)
+        )
+
+    def header(self) -> list[str]:
+        cols = ["n", "N", "L_avg", "L_max"]
+        if self.dynamic:
+            cols.append("I_r(%)")
+        return cols
+
+    def render(self, with_reference: bool = True) -> str:
+        """ASCII rendering; optionally appends the paper's numbers."""
+        header = self.header()
+        lines = [self.title]
+        ref_by_n = {r.n: r for r in self.reference}
+        if with_reference and self.reference:
+            header = header + ["|"] + [f"paper {c}" for c in self.header()[2:]]
+        widths = [max(6, len(h)) for h in header]
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        lines.append(fmt(header))
+        lines.append(fmt(["-" * w for w in widths]))
+        for row in self.rows:
+            cells = row.cells(self.dynamic)
+            if with_reference and self.reference:
+                ref = ref_by_n.get(row.n)
+                cells = cells + ["|"] + (
+                    ref.cells(self.dynamic)[2:] if ref else ["?"] * (len(header) - len(cells) - 1)
+                )
+            lines.append(fmt(cells))
+        return "\n".join(lines)
+
+
+def format_rows(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Generic dict-row table formatter for ad-hoc reports."""
+    if not rows:
+        return "(no rows)"
+    cols = columns or list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in cols
+    }
+    head = "  ".join(str(c).rjust(widths[c]) for c in cols)
+    sep = "  ".join("-" * widths[c] for c in cols)
+    body = [
+        "  ".join(str(r.get(c, "")).rjust(widths[c]) for c in cols) for r in rows
+    ]
+    return "\n".join([head, sep] + body)

@@ -1,0 +1,197 @@
+"""Command-line interface.
+
+Examples
+--------
+Regenerate a paper table (optionally choosing sizes and seed)::
+
+    python -m repro table 9 --ns 6,8 --seed 7
+
+Regenerate a figure as text or DOT::
+
+    python -m repro figure 1
+    python -m repro figure 4 --dot
+
+Machine-verify an algorithm instance::
+
+    python -m repro verify hypercube-adaptive 4
+    python -m repro verify torus 3x3
+    python -m repro verify shuffle-exchange 4
+
+Trace an offered-load sweep::
+
+    python -m repro sweep --n 6 --pattern complement
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import ALL_FIGURES, format_rows
+from .analysis.sweeps import load_sweep
+from .core import verify_algorithm
+from .experiments import run_table
+from .routing import (
+    HypercubeAdaptiveRouting,
+    HypercubeHungRouting,
+    HypercubeObliviousRouting,
+    Mesh2DAdaptiveRouting,
+    Mesh2DRestrictedRouting,
+    ShuffleExchangeRouting,
+    StructuredBufferPoolRouting,
+    TorusRouting,
+)
+from .sim import hypercube_pattern, make_rng
+from .topology import Hypercube, Mesh2D, ShuffleExchange, Torus
+
+
+def _parse_ns(text: str | None) -> tuple[int, ...] | None:
+    if not text:
+        return None
+    return tuple(int(x) for x in text.replace(",", " ").split())
+
+
+def _build_algorithm(name: str, size: str):
+    """Instantiate an algorithm by CLI name and size spec."""
+    if name.startswith("hypercube") or name == "buffer-pool":
+        topo = Hypercube(int(size))
+        return {
+            "hypercube-adaptive": HypercubeAdaptiveRouting,
+            "hypercube-hung": HypercubeHungRouting,
+            "hypercube-oblivious": HypercubeObliviousRouting,
+            "buffer-pool": StructuredBufferPoolRouting,
+        }[name](topo)
+    if name.startswith("mesh"):
+        rows = int(size.split("x")[0])
+        topo = Mesh2D(rows)
+        return {
+            "mesh-adaptive": Mesh2DAdaptiveRouting,
+            "mesh-restricted": Mesh2DRestrictedRouting,
+        }[name](topo)
+    if name == "torus":
+        shape = tuple(int(x) for x in size.split("x"))
+        return TorusRouting(Torus(shape))
+    if name == "shuffle-exchange":
+        return ShuffleExchangeRouting(ShuffleExchange(int(size)))
+    raise SystemExit(f"unknown algorithm {name!r}")
+
+
+VERIFY_CHOICES = (
+    "hypercube-adaptive",
+    "hypercube-hung",
+    "hypercube-oblivious",
+    "buffer-pool",
+    "mesh-adaptive",
+    "mesh-restricted",
+    "torus",
+    "shuffle-exchange",
+)
+
+
+def cmd_table(args) -> int:
+    """``repro table``: regenerate one of the paper's Tables 1-12."""
+    table = run_table(args.number, ns=_parse_ns(args.ns), seed=args.seed)
+    print(table.render(with_reference=not args.no_reference))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    """``repro figure``: regenerate a Figure 1-6 as text or DOT."""
+    fig = ALL_FIGURES[f"figure{args.number}"]()
+    print(fig.dot if args.dot else fig.text)
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """``repro verify``: machine-check deadlock-freedom conditions."""
+    alg = _build_algorithm(args.algorithm, args.size)
+    report = verify_algorithm(
+        alg,
+        check_minimal=None if not args.fast else False,
+        check_fully_adaptive=None if not args.fast else False,
+    )
+    print(report.summary())
+    for err in report.errors[:10]:
+        print("  !", err)
+    return 0 if report.deadlock_free else 1
+
+
+def cmd_sweep(args) -> int:
+    """``repro sweep``: trace an offered-load curve."""
+    cube = Hypercube(args.n)
+    points = load_sweep(
+        lambda: HypercubeAdaptiveRouting(cube),
+        lambda: hypercube_pattern(args.pattern, cube, make_rng(args.seed)),
+        rates=tuple(float(x) for x in args.rates.split(",")),
+        seed=args.seed,
+    )
+    print(format_rows([p.row() for p in points]))
+    return 0
+
+
+def cmd_report(args) -> int:
+    """``repro report``: emit the full Markdown reproduction report."""
+    from .analysis.report import full_report
+
+    text = full_report(seed=args.seed, include_figures=not args.no_figures)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="SPAA'91 fully-adaptive deadlock-free routing reproduction",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    t = sub.add_parser("table", help="regenerate a paper table (1-12)")
+    t.add_argument("number", type=int, choices=range(1, 13))
+    t.add_argument("--ns", help="hypercube dimensions, e.g. '6,8'")
+    t.add_argument("--seed", type=int, default=None)
+    t.add_argument("--no-reference", action="store_true")
+    t.set_defaults(fn=cmd_table)
+
+    f = sub.add_parser("figure", help="regenerate a paper figure (1-6)")
+    f.add_argument("number", type=int, choices=range(1, 7))
+    f.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    f.set_defaults(fn=cmd_figure)
+
+    v = sub.add_parser("verify", help="machine-verify an algorithm")
+    v.add_argument("algorithm", choices=VERIFY_CHOICES)
+    v.add_argument("size", help="e.g. 4 (hypercube/SE), 3x3 (mesh/torus)")
+    v.add_argument("--fast", action="store_true",
+                   help="skip minimality/adaptivity path enumeration")
+    v.set_defaults(fn=cmd_verify)
+
+    s = sub.add_parser("sweep", help="offered-load sweep on a hypercube")
+    s.add_argument("--n", type=int, default=6)
+    s.add_argument("--pattern", default="random")
+    s.add_argument("--rates", default="0.1,0.25,0.5,0.75,1.0")
+    s.add_argument("--seed", type=int, default=0)
+    s.set_defaults(fn=cmd_sweep)
+
+    r = sub.add_parser(
+        "report", help="regenerate every table/figure as one Markdown report"
+    )
+    r.add_argument("--seed", type=int, default=None)
+    r.add_argument("--no-figures", action="store_true")
+    r.add_argument("--output", "-o", help="write to a file instead of stdout")
+    r.set_defaults(fn=cmd_report)
+    return p
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Core framework: queues, routing functions, QDGs, and verification."""
+
+from .message import Message, reset_message_ids
+from .paths import (
+    adaptivity_ratio,
+    is_fully_adaptive_for_pair,
+    is_minimal_for_pair,
+    minimal_node_paths,
+    realizable_node_paths,
+)
+from .qdg import (
+    Exploration,
+    Transition,
+    build_qdg,
+    explore,
+    find_cycle,
+    is_acyclic,
+    qdg_stats,
+    queue_levels,
+)
+from .queues import (
+    DELIVER,
+    INJECT,
+    QueueId,
+    QueueSpec,
+    default_queue_specs,
+    deliver,
+    inject,
+)
+from .routing_function import DYNAMIC_CLASS, RoutingAlgorithm, node_path
+from .verification import VerificationReport, verify_algorithm
+
+__all__ = [
+    "Message",
+    "reset_message_ids",
+    "QueueId",
+    "QueueSpec",
+    "INJECT",
+    "DELIVER",
+    "inject",
+    "deliver",
+    "default_queue_specs",
+    "RoutingAlgorithm",
+    "DYNAMIC_CLASS",
+    "node_path",
+    "Exploration",
+    "Transition",
+    "explore",
+    "build_qdg",
+    "is_acyclic",
+    "find_cycle",
+    "queue_levels",
+    "qdg_stats",
+    "minimal_node_paths",
+    "realizable_node_paths",
+    "is_minimal_for_pair",
+    "is_fully_adaptive_for_pair",
+    "adaptivity_ratio",
+    "VerificationReport",
+    "verify_algorithm",
+]

@@ -1,0 +1,204 @@
+"""Queue dependency graphs (paper, Section 2).
+
+The *queue dependency graph* (QDG) of a routing function has one vertex
+per queue and an edge ``q -> q'`` whenever some message, on some route
+actually built by the function, may move from ``q`` to ``q'``.  If the
+QDG of the *static* (underlying) routing function is acyclic, greedy
+routing over it is deadlock free; the extended function adds *dynamic*
+edges that may close cycles but are harmless because every message
+always retains a static escape path.
+
+This module builds QDGs by exhaustive exploration of reachable
+``(queue, routing-state)`` configurations for every source/destination
+pair, so state-dependent algorithms (shuffle-exchange, torus) are
+handled exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable
+
+import networkx as nx
+
+from .queues import QueueId, deliver, inject
+from .routing_function import RoutingAlgorithm
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One explored queue-to-queue move for a concrete destination."""
+
+    q_from: QueueId
+    q_to: QueueId
+    dst: Hashable
+    dynamic: bool
+
+
+@dataclass
+class Exploration:
+    """Everything reachable under a routing function.
+
+    Attributes
+    ----------
+    transitions:
+        Every distinct ``(q_from, q_to, dst, dynamic)`` move.
+    configurations:
+        Reachable ``(queue, state)`` pairs per destination.
+    """
+
+    transitions: set[Transition] = field(default_factory=set)
+    configurations: dict[Hashable, set[tuple[QueueId, Any]]] = field(
+        default_factory=dict
+    )
+
+    def edges(self, dynamic: bool | None = None) -> set[tuple[QueueId, QueueId]]:
+        """Distinct QDG edges, optionally filtered by link type.
+
+        An edge is *static* if any transition over it is static; the
+        dynamic-only edge set is what ``A_d`` denotes in the paper.
+        """
+        static = {
+            (t.q_from, t.q_to) for t in self.transitions if not t.dynamic
+        }
+        dyn = {
+            (t.q_from, t.q_to) for t in self.transitions if t.dynamic
+        } - static
+        if dynamic is None:
+            return static | dyn
+        return dyn if dynamic else static
+
+
+def _freeze_state(state: Any) -> Any:
+    """Hashable view of a routing state (states must be hashable or dict)."""
+    if isinstance(state, dict):
+        return tuple(sorted(state.items()))
+    return state
+
+
+def explore(
+    algorithm: RoutingAlgorithm,
+    sources: Iterable[Hashable] | None = None,
+    destinations: Iterable[Hashable] | None = None,
+) -> Exploration:
+    """Enumerate all reachable configurations and transitions.
+
+    For every ``(src, dst)`` pair, performs a BFS over
+    ``(queue, state)`` configurations starting from the injection
+    queue, following both static and dynamic hops.
+    """
+    topo = algorithm.topology
+    srcs = list(sources) if sources is not None else list(topo.nodes())
+    dsts = list(destinations) if destinations is not None else list(topo.nodes())
+
+    out = Exploration()
+    for dst in dsts:
+        seen: set[tuple[QueueId, Any]] = set()
+        frontier: list[tuple[QueueId, Any]] = []
+        d_q = deliver(dst)
+        for src in srcs:
+            if src == dst:
+                continue
+            state0 = algorithm.initial_state(src, dst)
+            i_q = inject(src)
+            for q in algorithm.injection_targets(src, dst, state0):
+                out.transitions.add(Transition(i_q, q, dst, False))
+                st = algorithm.update_state(state0, i_q, q)
+                key = (q, _freeze_state(st))
+                if key not in seen:
+                    seen.add(key)
+                    frontier.append((q, st))
+        while frontier:
+            q, st = frontier.pop()
+            if q == d_q:
+                continue
+            for dyn, hops in (
+                (False, algorithm.static_hops(q, dst, st)),
+                (True, algorithm.dynamic_hops(q, dst, st)),
+            ):
+                for q2 in hops:
+                    if q2 != q:
+                        # Self-hops (degenerate self-shuffles) only
+                        # advance routing state; they hold no new
+                        # resource, so they are not QDG dependencies.
+                        out.transitions.add(Transition(q, q2, dst, dyn))
+                    st2 = algorithm.update_state(st, q, q2)
+                    key = (q2, _freeze_state(st2))
+                    if key not in seen:
+                        seen.add(key)
+                        frontier.append((q2, st2))
+        out.configurations[dst] = seen
+    return out
+
+
+def build_qdg(
+    algorithm: RoutingAlgorithm,
+    include_dynamic: bool = True,
+    sources: Iterable[Hashable] | None = None,
+    destinations: Iterable[Hashable] | None = None,
+    exploration: Exploration | None = None,
+) -> nx.DiGraph:
+    """Build the QDG as a ``networkx.DiGraph``.
+
+    Edges carry a boolean ``dynamic`` attribute.  With
+    ``include_dynamic=False`` the result is the underlying graph ``D``
+    (a DAG for a correct algorithm); with ``True`` it is the extended
+    graph ``D~``.
+    """
+    exp = exploration or explore(algorithm, sources, destinations)
+    g = nx.DiGraph(name=f"QDG({algorithm.name})")
+    g.add_nodes_from(algorithm.all_queues())
+    for u, v in exp.edges(dynamic=False):
+        g.add_edge(u, v, dynamic=False)
+    if include_dynamic:
+        for u, v in exp.edges(dynamic=True):
+            g.add_edge(u, v, dynamic=True)
+    return g
+
+
+def is_acyclic(qdg: nx.DiGraph) -> bool:
+    """Whether a QDG is a DAG."""
+    return nx.is_directed_acyclic_graph(qdg)
+
+
+def find_cycle(qdg: nx.DiGraph) -> list[tuple[QueueId, QueueId]] | None:
+    """One directed cycle of the QDG, or ``None`` if acyclic."""
+    try:
+        return nx.find_cycle(qdg)
+    except nx.NetworkXNoCycle:
+        return None
+
+
+def queue_levels(static_qdg: nx.DiGraph) -> dict[QueueId, int]:
+    """The paper's ``Level``: longest static path from any injection queue.
+
+    Queues unreachable from every injection queue get level 0.
+    Requires an acyclic graph.
+    """
+    if not nx.is_directed_acyclic_graph(static_qdg):
+        raise ValueError("Level is only defined on an acyclic QDG")
+    level: dict[QueueId, int] = {}
+    for q in nx.topological_sort(static_qdg):
+        preds = [
+            level[p] + 1
+            for p in static_qdg.predecessors(q)
+            if p in level
+        ]
+        if q.is_injection:
+            level[q] = max(preds, default=0)
+        elif preds:
+            level[q] = max(preds)
+        else:
+            level[q] = 0
+    return level
+
+
+def qdg_stats(qdg: nx.DiGraph) -> dict[str, int]:
+    """Summary counters used by the figure benchmarks."""
+    n_static = sum(1 for *_e, d in qdg.edges(data="dynamic") if not d)
+    n_dynamic = qdg.number_of_edges() - n_static
+    return {
+        "queues": qdg.number_of_nodes(),
+        "static_edges": n_static,
+        "dynamic_edges": n_dynamic,
+    }

@@ -1,0 +1,119 @@
+"""Queue identities and specifications.
+
+The paper (Section 2) expresses routing functions over *queues* rather
+than links: every node owns an injection queue, a delivery queue, and a
+small set of *central* queues (``qA``/``qB`` for the hypercube and mesh,
+four phase/class queues for the shuffle-exchange).  A queue is therefore
+identified by the node that owns it plus a *kind* label.
+
+This module defines :class:`QueueId` (hashable, totally ordered, cheap)
+and :class:`QueueSpec` (capacity bookkeeping for the simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, NamedTuple
+
+#: Kind label of the injection queue of a node (``i_n`` in the paper).
+INJECT = "inj"
+
+#: Kind label of the delivery queue of a node (``d_n`` in the paper).
+DELIVER = "del"
+
+
+class QueueId(NamedTuple):
+    """Identity of one queue in the network.
+
+    Parameters
+    ----------
+    node:
+        The node owning the queue.  Any hashable value accepted by the
+        topology (``int`` for hypercubes and shuffle-exchanges, an
+        ``(x, y)`` tuple for meshes and tori).
+    kind:
+        The queue's role: :data:`INJECT`, :data:`DELIVER`, or one of
+        the routing algorithm's central-queue kinds (e.g. ``"A"``).
+    """
+
+    node: Hashable
+    kind: str
+
+    @property
+    def is_injection(self) -> bool:
+        """True for an injection queue (``i_n``)."""
+        return self.kind == INJECT
+
+    @property
+    def is_delivery(self) -> bool:
+        """True for a delivery queue (``d_n``)."""
+        return self.kind == DELIVER
+
+    @property
+    def is_central(self) -> bool:
+        """True for a central (routing) queue owned by the node."""
+        return self.kind not in (INJECT, DELIVER)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"q[{self.kind}@{self.node}]"
+
+
+def inject(node: Hashable) -> QueueId:
+    """The injection queue ``i_node``."""
+    return QueueId(node, INJECT)
+
+
+def deliver(node: Hashable) -> QueueId:
+    """The delivery queue ``d_node``."""
+    return QueueId(node, DELIVER)
+
+
+@dataclass(frozen=True)
+class QueueSpec:
+    """Capacity description of one queue class for the simulator.
+
+    The paper's simulations (Section 7.1) use an injection queue of
+    size 1, central queues of size 5, and delivery queues of unbounded
+    size (messages are eventually consumed).
+    """
+
+    kind: str
+    capacity: int | None  #: ``None`` means unbounded (delivery queues).
+
+    @property
+    def unbounded(self) -> bool:
+        return self.capacity is None
+
+    def fits(self, occupancy: int) -> bool:
+        """Whether a queue at ``occupancy`` can accept one more message."""
+        return self.capacity is None or occupancy < self.capacity
+
+
+def default_queue_specs(
+    central_kinds: tuple[str, ...],
+    central_capacity: int = 5,
+    injection_capacity: int = 1,
+) -> dict[str, QueueSpec]:
+    """The Section-7.1 queue sizing for a given set of central kinds.
+
+    Returns a mapping ``kind -> QueueSpec`` covering the injection
+    queue, the delivery queue, and every central queue kind.
+    """
+    specs: dict[str, QueueSpec] = {
+        INJECT: QueueSpec(INJECT, injection_capacity),
+        DELIVER: QueueSpec(DELIVER, None),
+    }
+    for kind in central_kinds:
+        if kind in specs:
+            raise ValueError(f"central queue kind {kind!r} is reserved")
+        specs[kind] = QueueSpec(kind, central_capacity)
+    return specs
+
+
+def validate_queue_id(q: Any) -> QueueId:
+    """Coerce/validate an arbitrary value into a :class:`QueueId`."""
+    if isinstance(q, QueueId):
+        return q
+    if isinstance(q, tuple) and len(q) == 2 and isinstance(q[1], str):
+        return QueueId(q[0], q[1])
+    raise TypeError(f"not a queue id: {q!r}")

@@ -1,0 +1,31 @@
+"""Experiment harness: scale control, sweeps, and the paper's tables."""
+
+from .paper import PAPER_TABLES, TableSpec, check_table_shape, run_table, table_result
+from .replication import (
+    ReplicatedResult,
+    ReplicateStats,
+    mean_difference_ci95,
+    replicate,
+)
+from .runner import (
+    SCALES,
+    HypercubeExperiment,
+    experiment_seed,
+    scale_dimensions,
+)
+
+__all__ = [
+    "HypercubeExperiment",
+    "scale_dimensions",
+    "experiment_seed",
+    "SCALES",
+    "PAPER_TABLES",
+    "TableSpec",
+    "run_table",
+    "table_result",
+    "check_table_shape",
+    "replicate",
+    "ReplicateStats",
+    "ReplicatedResult",
+    "mean_difference_ci95",
+]

@@ -1,0 +1,175 @@
+"""The promised "other topologies" evaluation.
+
+Section 7 closes with "Simulations on higher-dimensional hypercubes
+and other topologies will be reported soon" — results that never
+appeared.  This module delivers them in the paper's own table format
+for the mesh, torus, shuffle-exchange, and cube-connected cycles
+algorithms, under the analogous traffic patterns:
+
+* static injection (1 and k packets per node),
+* dynamic Bernoulli injection at ``lambda`` (default 1),
+* uniform random traffic plus one adversarial permutation per
+  topology (transpose for mesh/torus, bit reversal for the
+  shuffle-exchange, cube-complement for the CCC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.routing_function import RoutingAlgorithm
+from ..routing.ccc import CCCAdaptiveRouting
+from ..routing.mesh import Mesh2DAdaptiveRouting
+from ..routing.shuffle_exchange import ShuffleExchangeRouting
+from ..routing.torus import TorusRouting
+from ..sim.engine import PacketSimulator
+from ..sim.injection import DynamicInjection, StaticInjection
+from ..sim.metrics import SimulationResult
+from ..sim.rng import make_rng
+from ..sim.traffic import (
+    BitReversalTraffic,
+    MeshTransposeTraffic,
+    PermutationTraffic,
+    RandomTraffic,
+    TornadoTraffic,
+    TrafficPattern,
+)
+from ..topology.base import Topology
+from ..topology.ccc import CubeConnectedCycles
+from ..topology.hypercube import Hypercube
+from ..topology.mesh import Mesh2D
+from ..topology.shuffle_exchange import ShuffleExchange
+from ..topology.torus import Torus
+
+
+class CCCComplementTraffic(PermutationTraffic):
+    """CCC analogue of the complement: flip the cube address, keep the
+    cycle position."""
+
+    def __init__(self, topology: CubeConnectedCycles):
+        mask = (1 << topology.n) - 1
+        super().__init__(
+            {u: (u[0] ^ mask, u[1]) for u in topology.nodes()},
+            name="ccc-complement",
+        )
+
+
+class SEBitReversalTraffic(PermutationTraffic):
+    """Bit-reversal permutation on shuffle-exchange addresses."""
+
+    def __init__(self, topology: ShuffleExchange):
+        n = topology.n
+
+        def rev(u: int) -> int:
+            return int(format(u, f"0{n}b")[::-1], 2)
+
+        super().__init__(
+            {u: rev(u) for u in topology.nodes()}, name="bit-reversal"
+        )
+
+
+@dataclass(frozen=True)
+class TopologyFamily:
+    """One topology family in the extended evaluation."""
+
+    key: str
+    build: Callable[[int], Topology]  #: size parameter -> topology
+    algorithm: Callable[[Topology], RoutingAlgorithm]
+    adversary: Callable[[Topology], TrafficPattern]
+    sizes: tuple[int, ...]  #: default size sweep (CI scale)
+
+    def size_label(self, size: int) -> str:
+        return f"{self.build(size).num_nodes}"
+
+
+FAMILIES: dict[str, TopologyFamily] = {
+    "mesh": TopologyFamily(
+        key="mesh",
+        build=lambda s: Mesh2D(s),
+        algorithm=Mesh2DAdaptiveRouting,
+        adversary=MeshTransposeTraffic,
+        sizes=(4, 6, 8),
+    ),
+    "torus": TopologyFamily(
+        key="torus",
+        build=lambda s: Torus((s, s)),
+        algorithm=TorusRouting,
+        adversary=TornadoTraffic,
+        sizes=(4, 6, 8),
+    ),
+    "shuffle-exchange": TopologyFamily(
+        key="shuffle-exchange",
+        build=lambda s: ShuffleExchange(s),
+        algorithm=ShuffleExchangeRouting,
+        adversary=SEBitReversalTraffic,
+        sizes=(4, 5, 6),
+    ),
+    "ccc": TopologyFamily(
+        key="ccc",
+        build=lambda s: CubeConnectedCycles(s),
+        algorithm=CCCAdaptiveRouting,
+        adversary=CCCComplementTraffic,
+        sizes=(3, 4),
+    ),
+}
+
+
+def run_cell(
+    family: TopologyFamily,
+    size: int,
+    pattern: str,
+    injection: str,
+    packets: int = 1,
+    rate: float = 1.0,
+    duration: int | None = None,
+    seed: int = 12345,
+) -> SimulationResult:
+    """One simulation cell of the extended evaluation."""
+    topo = family.build(size)
+    alg = family.algorithm(topo)
+    rng_t = make_rng(seed, f"{family.key}-traffic-{size}")
+    if pattern == "random":
+        traffic: TrafficPattern = RandomTraffic(topo)
+    elif pattern == "adversary":
+        traffic = family.adversary(topo)
+    else:
+        raise ValueError(f"unknown pattern {pattern!r}")
+    if injection == "static":
+        model = StaticInjection(packets, traffic, make_rng(seed, "inj"))
+    elif injection == "dynamic":
+        dur = duration if duration is not None else 200 + 10 * topo.diameter
+        model = DynamicInjection(
+            rate, traffic, make_rng(seed, "inj"), duration=dur, warmup=dur // 3
+        )
+    else:
+        raise ValueError(f"unknown injection {injection!r}")
+    sim = PacketSimulator(alg, model)
+    return sim.run(max_cycles=2_000_000)
+
+
+def family_table(
+    key: str,
+    pattern: str,
+    injection: str,
+    sizes: Sequence[int] | None = None,
+    packets: int = 1,
+    seed: int = 12345,
+) -> list[dict]:
+    """Paper-style rows for one family/pattern/injection combination."""
+    family = FAMILIES[key]
+    rows = []
+    for size in sizes if sizes is not None else family.sizes:
+        res = run_cell(
+            family, size, pattern, injection, packets=packets, seed=seed
+        )
+        row = {
+            "size": size,
+            "N": family.build(size).num_nodes,
+            "L_avg": round(res.l_avg, 2),
+            "L_max": res.l_max,
+        }
+        if res.attempts:
+            row["I_r(%)"] = round(100 * res.injection_rate, 1)
+        rows.append(row)
+    return rows

@@ -1,0 +1,205 @@
+"""The paper's evaluation grid: Tables 1-12 with reference values.
+
+Each :class:`TableSpec` names one of the paper's tables, carries the
+published numbers, and knows how to re-run the experiment at any
+scale.  ``run_table(k)`` regenerates Table ``k``; the benchmarks in
+``benchmarks/`` are thin wrappers around these definitions.
+
+Reference values are transcribed verbatim from the paper; note the
+paper's Table 12 includes an extra ``n = 9`` row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..analysis.tables import PaperTable, TableRow
+from ..sim.metrics import SimulationResult
+from .runner import HypercubeExperiment, experiment_seed, scale_dimensions
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Definition + reference data of one paper table."""
+
+    number: int
+    title: str
+    pattern: str
+    injection: str  #: "static" or "dynamic"
+    packets: str = "1"  #: "1" or "n" (static only)
+    #: ``n -> (L_avg, L_max)`` or ``n -> (L_avg, L_max, I_r%)``.
+    reference: dict[int, tuple] = field(default_factory=dict)
+
+    @property
+    def dynamic(self) -> bool:
+        return self.injection == "dynamic"
+
+    def reference_rows(self) -> list[TableRow]:
+        rows = []
+        for n, vals in sorted(self.reference.items()):
+            i_r = vals[2] if len(vals) > 2 else None
+            rows.append(
+                TableRow(n=n, N=1 << n, l_avg=vals[0], l_max=vals[1], i_r=i_r)
+            )
+        return rows
+
+    def experiment(self, n: int, seed: int) -> HypercubeExperiment:
+        if self.injection == "static":
+            return HypercubeExperiment(
+                pattern=self.pattern,
+                injection="static",
+                packets_per_node=(n if self.packets == "n" else int(self.packets)),
+                seed=seed,
+            )
+        return HypercubeExperiment(
+            pattern=self.pattern, injection="dynamic", rate=1.0, seed=seed
+        )
+
+
+PAPER_TABLES: dict[int, TableSpec] = {
+    1: TableSpec(
+        1, "Table 1: Random Routing, 1 packet", "random", "static", "1",
+        {10: (10.96, 19), 11: (12.09, 21), 12: (13.08, 25),
+         13: (14.03, 27), 14: (15.04, 29)},
+    ),
+    2: TableSpec(
+        2, "Table 2: Complement, 1 packet", "complement", "static", "1",
+        {10: (21.0, 21), 11: (23.0, 23), 12: (25.0, 25),
+         13: (27.0, 27), 14: (29.0, 29)},
+    ),
+    3: TableSpec(
+        3, "Table 3: Transpose, 1 packet", "transpose", "static", "1",
+        {10: (11.09, 21), 11: (11.09, 21), 12: (13.13, 25),
+         13: (13.13, 25), 14: (15.23, 29)},
+    ),
+    4: TableSpec(
+        4, "Table 4: Leveled Permutation, 1 packet", "leveled", "static", "1",
+        {10: (10.10, 21), 11: (10.98, 21), 12: (12.06, 25),
+         13: (13.07, 25), 14: (14.03, 29)},
+    ),
+    5: TableSpec(
+        5, "Table 5: Random Routing, n packets", "random", "static", "n",
+        {10: (11.33, 22), 11: (12.52, 25), 12: (13.76, 27),
+         13: (15.02, 30), 14: (16.54, 32)},
+    ),
+    6: TableSpec(
+        6, "Table 6: Complement, n packets", "complement", "static", "n",
+        {10: (21.0, 21), 11: (24.99, 30), 12: (28.61, 35),
+         13: (32.74, 39), 14: (36.23, 44)},
+    ),
+    7: TableSpec(
+        7, "Table 7: Transpose, n packets", "transpose", "static", "n",
+        {10: (12.27, 26), 11: (12.40, 32), 12: (16.01, 37),
+         13: (16.22, 36), 14: (20.49, 43)},
+    ),
+    8: TableSpec(
+        8, "Table 8: Leveled Permutation, n packets", "leveled", "static", "n",
+        {10: (10.78, 23), 11: (11.77, 25), 12: (13.17, 28),
+         13: (14.60, 32), 14: (16.03, 37)},
+    ),
+    9: TableSpec(
+        9, "Table 9: Random Routing, lambda=1", "random", "dynamic",
+        reference={10: (12.10, 30, 93), 11: (13.47, 35, 89),
+                   12: (15.01, 37, 85), 13: (16.58, 44, 81),
+                   14: (18.30, 49, 76)},
+    ),
+    10: TableSpec(
+        10, "Table 10: Complement, lambda=1", "complement", "dynamic",
+        reference={10: (33.32, 52, 55), 11: (39.29, 58, 49),
+                   12: (45.60, 68, 45), 13: (52.87, 79, 41),
+                   14: (60.70, 90, 38)},
+    ),
+    11: TableSpec(
+        11, "Table 11: Transpose, lambda=1", "transpose", "dynamic",
+        reference={10: (14.67, 36, 83), 11: (14.67, 36, 83),
+                   12: (15.78, 49, 73), 13: (20.31, 54, 71),
+                   14: (27.33, 66, 61)},
+    ),
+    12: TableSpec(
+        12, "Table 12: Leveled Permutation, lambda=1", "leveled", "dynamic",
+        reference={9: (11.28, 37, 94), 10: (12.47, 43, 91),
+                   11: (13.50, 48, 89), 12: (15.17, 56, 84),
+                   13: (16.91, 53, 80), 14: (18.46, 57, 75)},
+    ),
+}
+
+
+def run_table(
+    number: int,
+    ns: Sequence[int] | None = None,
+    seed: int | None = None,
+    algorithm_factory: Callable | None = None,
+) -> PaperTable:
+    """Regenerate one of the paper's tables at the configured scale."""
+    spec = PAPER_TABLES[number]
+    ns = tuple(ns) if ns is not None else scale_dimensions()
+    seed = seed if seed is not None else experiment_seed()
+    table = PaperTable(
+        title=spec.title,
+        dynamic=spec.dynamic,
+        reference=spec.reference_rows(),
+    )
+    for n in ns:
+        result = spec.experiment(n, seed).run(n, algorithm_factory)
+        table.add_result(n, result)
+    return table
+
+
+def table_result(
+    number: int, n: int, seed: int | None = None
+) -> SimulationResult:
+    """Run a single cell of a paper table (one n)."""
+    spec = PAPER_TABLES[number]
+    seed = seed if seed is not None else experiment_seed()
+    return spec.experiment(n, seed).run(n)
+
+
+# ----------------------------------------------------------------------
+# Shape checks: the qualitative claims the reproduction must preserve.
+# ----------------------------------------------------------------------
+def check_table_shape(number: int, table: PaperTable) -> list[str]:
+    """Validate the paper-shape properties of a regenerated table.
+
+    Returns a list of violations (empty == the shape holds):
+
+    * Table 2 (complement, 1 packet) is deterministic: L_avg = L_max
+      = 2n + 1 exactly;
+    * every static 1-packet table is bounded by the complement one;
+    * latencies grow with n within every table;
+    * dynamic injection rates decrease with n, and complement is the
+      most demanding dynamic pattern.
+    """
+    problems: list[str] = []
+    spec = PAPER_TABLES[number]
+    rows = table.rows
+    if not rows:
+        return ["table has no rows"]
+    if number == 2:
+        for r in rows:
+            if not (abs(r.l_avg - (2 * r.n + 1)) < 1e-9 and r.l_max == 2 * r.n + 1):
+                problems.append(
+                    f"n={r.n}: complement/1pkt must be exactly 2n+1, got "
+                    f"{r.l_avg}/{r.l_max}"
+                )
+    if spec.injection == "static" and spec.packets == "1" and number != 2:
+        for r in rows:
+            if r.l_max > 2 * r.n + 1:
+                problems.append(
+                    f"n={r.n}: 1-packet L_max {r.l_max} exceeds diameter "
+                    f"bound {2 * r.n + 1}"
+                )
+    for a, b in zip(rows, rows[1:]):
+        if b.l_avg + 1e-9 < a.l_avg - 0.75:
+            problems.append(
+                f"L_avg not (weakly) growing: n={a.n}:{a.l_avg} -> "
+                f"n={b.n}:{b.l_avg}"
+            )
+    if spec.dynamic:
+        for a, b in zip(rows, rows[1:]):
+            if b.i_r is not None and a.i_r is not None and b.i_r > a.i_r + 8.0:
+                problems.append(
+                    f"I_r should not grow with n: n={a.n}:{a.i_r:.0f}% -> "
+                    f"n={b.n}:{b.i_r:.0f}%"
+                )
+    return problems

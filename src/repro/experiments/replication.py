@@ -1,0 +1,133 @@
+"""Multi-seed replication and statistics.
+
+The paper reports single simulation runs.  For the stochastic
+configurations (random traffic, leveled permutations, dynamic
+injection) this module replicates an experiment over independent seeds
+and reports means with confidence intervals, so shape claims can be
+asserted with statistical backing rather than single draws.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..sim.metrics import SimulationResult
+from .runner import HypercubeExperiment
+
+
+@dataclass
+class ReplicateStats:
+    """Mean / spread of one scalar across replications."""
+
+    values: list[float] = field(default_factory=list)
+
+    def add(self, x: float) -> None:
+        self.values.append(float(x))
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else float("nan")
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    def ci95(self) -> tuple[float, float]:
+        """95% confidence interval for the mean (normal approx for
+        small replication counts; exact t via scipy when available)."""
+        if self.n < 2:
+            return (self.mean, self.mean)
+        half = 1.96 * self.std / math.sqrt(self.n)
+        try:
+            from scipy import stats as sps
+
+            half = float(
+                sps.t.ppf(0.975, self.n - 1) * self.std / math.sqrt(self.n)
+            )
+        except ImportError:  # pragma: no cover - scipy is a test dep
+            pass
+        return (self.mean - half, self.mean + half)
+
+
+@dataclass
+class ReplicatedResult:
+    """Aggregated outcome of one experiment cell across seeds."""
+
+    n: int
+    seeds: tuple[int, ...]
+    l_avg: ReplicateStats = field(default_factory=ReplicateStats)
+    l_max: ReplicateStats = field(default_factory=ReplicateStats)
+    i_r: ReplicateStats = field(default_factory=ReplicateStats)
+    results: list[SimulationResult] = field(default_factory=list)
+
+    def row(self) -> dict:
+        lo, hi = self.l_avg.ci95()
+        out = {
+            "n": self.n,
+            "runs": len(self.results),
+            "L_avg": round(self.l_avg.mean, 2),
+            "L_avg 95% CI": f"[{lo:.2f}, {hi:.2f}]",
+            "L_max(mean)": round(self.l_max.mean, 1),
+        }
+        if self.i_r.n:
+            out["I_r(%)"] = round(self.i_r.mean, 1)
+        return out
+
+
+def replicate(
+    experiment_factory: Callable[[int], HypercubeExperiment],
+    n: int,
+    seeds: Sequence[int],
+) -> ReplicatedResult:
+    """Run one experiment cell once per seed and aggregate.
+
+    ``experiment_factory(seed)`` must build the experiment for that
+    seed (traffic, injection, and permutation draws all re-seed).
+    """
+    agg = ReplicatedResult(n=n, seeds=tuple(seeds))
+    for seed in seeds:
+        res = experiment_factory(seed).run(n)
+        agg.results.append(res)
+        agg.l_avg.add(res.l_avg)
+        agg.l_max.add(res.l_max)
+        if res.attempts:
+            agg.i_r.add(100.0 * res.injection_rate)
+    return agg
+
+
+def mean_difference_ci95(
+    a: ReplicateStats, b: ReplicateStats
+) -> tuple[float, float]:
+    """95% CI of mean(a) - mean(b) (Welch approximation).
+
+    If the interval excludes 0, the difference is significant at the
+    5% level — used by tests asserting e.g. "adaptive beats oblivious".
+    """
+    if a.n < 2 or b.n < 2:
+        raise ValueError("need at least two replications per side")
+    diff = a.mean - b.mean
+    se = math.sqrt(a.std**2 / a.n + b.std**2 / b.n)
+    if se == 0.0:
+        return (diff, diff)
+    num = (a.std**2 / a.n + b.std**2 / b.n) ** 2
+    den = (a.std**2 / a.n) ** 2 / (a.n - 1) + (b.std**2 / b.n) ** 2 / (
+        b.n - 1
+    )
+    dof = num / den if den > 0 else a.n + b.n - 2
+    try:
+        from scipy import stats as sps
+
+        t = float(sps.t.ppf(0.975, dof))
+    except ImportError:  # pragma: no cover
+        t = 1.96
+    return (diff - t * se, diff + t * se)

@@ -1,0 +1,146 @@
+"""Experiment driver: configuration, scale control, sweeps.
+
+The paper simulates hypercubes of up to 16K nodes (n = 10..14).  A
+pure-Python cycle simulator cannot sweep that range in CI time, so
+every harness resolves its ``n`` range through :func:`scale_dimensions`:
+
+* ``REPRO_SCALE=ci``      -> n = 4..6   (seconds; the test default)
+* ``REPRO_SCALE=default`` -> n = 5..8   (tens of seconds)
+* ``REPRO_SCALE=large``   -> n = 7..10  (minutes)
+* ``REPRO_SCALE=paper``   -> n = 10..14 (the paper's range; hours)
+* ``REPRO_NS=6,8,10``     -> explicit override
+
+The reproduced quantity is the *shape* of each table (see
+EXPERIMENTS.md), which is already visible at small n because the
+latency model is exact (L = 2h + 1 uncontended).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.routing_function import RoutingAlgorithm
+from ..routing.hypercube import (
+    HypercubeAdaptiveRouting,
+    HypercubeHungRouting,
+)
+from ..sim.engine import PacketSimulator
+from ..sim.fastcube import FastHypercubeSimulator
+from ..sim.injection import DynamicInjection, StaticInjection
+from ..sim.metrics import SimulationResult
+from ..sim.rng import make_rng
+from ..sim.traffic import hypercube_pattern
+from ..topology.hypercube import Hypercube
+
+SCALES: dict[str, tuple[int, ...]] = {
+    "ci": (4, 5, 6),
+    "default": (5, 6, 7, 8),
+    "large": (7, 8, 9, 10),
+    "paper": (10, 11, 12, 13, 14),
+}
+
+
+def scale_dimensions(default: str = "ci") -> tuple[int, ...]:
+    """Hypercube dimensions to sweep, honoring the environment."""
+    explicit = os.environ.get("REPRO_NS")
+    if explicit:
+        return tuple(int(x) for x in explicit.replace(",", " ").split())
+    scale = os.environ.get("REPRO_SCALE", default)
+    if scale not in SCALES:
+        raise ValueError(
+            f"REPRO_SCALE={scale!r}; expected one of {sorted(SCALES)}"
+        )
+    return SCALES[scale]
+
+
+def experiment_seed(default: int = 12345) -> int:
+    return int(os.environ.get("REPRO_SEED", default))
+
+
+@dataclass
+class HypercubeExperiment:
+    """One cell of the paper's evaluation grid."""
+
+    pattern: str  #: random | complement | transpose | leveled | ...
+    injection: str  #: "static" or "dynamic"
+    packets_per_node: int = 1  #: static model only
+    rate: float = 1.0  #: dynamic model only
+    duration: int | None = None  #: dynamic cycles (None -> auto)
+    warmup: int | None = None  #: dynamic warm-up (None -> auto)
+    seed: int = 12345
+    central_capacity: int = 5
+    collect_occupancy: bool = False
+    #: Routing-algorithm constructor (default: the paper's adaptive
+    #: scheme); per-call ``algorithm_factory`` arguments override it.
+    algorithm: Callable[[Hypercube], RoutingAlgorithm] | None = None
+
+    def auto_duration(self, n: int) -> int:
+        # Long enough for steady state at every n: latencies are
+        # O(n)-to-O(n^2) under saturation, so a few hundred cycles
+        # plus an n-dependent term keeps the measured window stable.
+        return self.duration if self.duration is not None else 200 + 25 * n
+
+    def auto_warmup(self, n: int) -> int:
+        if self.warmup is not None:
+            return self.warmup
+        return self.auto_duration(n) // 3
+
+    def build(
+        self,
+        n: int,
+        algorithm_factory: Callable[[Hypercube], RoutingAlgorithm] | None = None,
+    ) -> PacketSimulator:
+        cube = Hypercube(n)
+        factory = algorithm_factory or self.algorithm or HypercubeAdaptiveRouting
+        alg = factory(cube)
+        rng_traffic = make_rng(self.seed, f"traffic-{n}")
+        pattern = hypercube_pattern(self.pattern, cube, rng_traffic)
+        if self.injection == "static":
+            model = StaticInjection(
+                self.packets_per_node, pattern, make_rng(self.seed, f"inj-{n}")
+            )
+        elif self.injection == "dynamic":
+            model = DynamicInjection(
+                self.rate,
+                pattern,
+                make_rng(self.seed, f"inj-{n}"),
+                duration=self.auto_duration(n),
+                warmup=self.auto_warmup(n),
+            )
+        else:
+            raise ValueError(f"unknown injection model {self.injection!r}")
+        # The specialized fast engine is packet-for-packet identical to
+        # the reference engine (tests/test_sim_fastcube.py); use it
+        # whenever the algorithm qualifies and no occupancy sampling is
+        # requested.
+        if not self.collect_occupancy and type(alg) in (
+            HypercubeAdaptiveRouting,
+            HypercubeHungRouting,
+        ):
+            return FastHypercubeSimulator(
+                alg, model, central_capacity=self.central_capacity
+            )
+        return PacketSimulator(
+            alg,
+            model,
+            central_capacity=self.central_capacity,
+            collect_occupancy=self.collect_occupancy,
+        )
+
+    def run(
+        self,
+        n: int,
+        algorithm_factory: Callable[[Hypercube], RoutingAlgorithm] | None = None,
+        max_cycles: int | None = None,
+    ) -> SimulationResult:
+        sim = self.build(n, algorithm_factory)
+        return sim.run(max_cycles=max_cycles)
+
+    def sweep(
+        self,
+        ns: Sequence[int],
+        algorithm_factory: Callable[[Hypercube], RoutingAlgorithm] | None = None,
+    ) -> dict[int, SimulationResult]:
+        return {n: self.run(n, algorithm_factory) for n in ns}

@@ -1,0 +1,17 @@
+"""The routing node: buffers, arbitration, and functional designs (Section 6)."""
+
+from .arbitration import RoundRobinArbiter, fifo_ranks, rotated
+from .buffers import Buffer, BufferPair, OccupancyStats
+from .model import LinkBufferSet, NodeDesign, build_node_design
+
+__all__ = [
+    "Buffer",
+    "BufferPair",
+    "OccupancyStats",
+    "RoundRobinArbiter",
+    "rotated",
+    "fifo_ranks",
+    "NodeDesign",
+    "LinkBufferSet",
+    "build_node_design",
+]

@@ -1,0 +1,66 @@
+"""Fair arbitration helpers.
+
+The paper requires that "some fair policy must be implemented so as to
+guarantee fair access" to queues and links (Section 6), and
+livelock-freedom rests on that fairness plus FIFO queue service.  We
+use rotating-priority (round-robin) arbiters: each arbitration round
+starts the scan one position later than the previous one, so every
+contender is granted in bounded time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class RoundRobinArbiter:
+    """Rotating-priority order over a fixed number of contenders."""
+
+    def __init__(self, size: int):
+        if size < 0:
+            raise ValueError("size must be >= 0")
+        self.size = size
+        self._next = 0
+
+    def order(self) -> list[int]:
+        """Indices 0..size-1 starting at the current priority pointer."""
+        if self.size == 0:
+            return []
+        s = self._next
+        return [(s + i) % self.size for i in range(self.size)]
+
+    def grant(self, index: int) -> None:
+        """Record that ``index`` won; it moves to lowest priority."""
+        if self.size:
+            self._next = (index + 1) % self.size
+
+    def rotate(self) -> None:
+        """Advance the pointer unconditionally (per-cycle rotation)."""
+        if self.size:
+            self._next = (self._next + 1) % self.size
+
+
+def rotated(seq: Sequence[T], offset: int) -> list[T]:
+    """``seq`` rotated left by ``offset`` (cheap per-cycle fairness)."""
+    if not seq:
+        return []
+    k = offset % len(seq)
+    return list(seq[k:]) + list(seq[:k])
+
+
+def fifo_ranks(queues: Iterable[Sequence[T]]) -> list[tuple[int, int, T]]:
+    """Global FIFO service order across several queues.
+
+    Returns ``(position, queue_index, item)`` triples sorted so that
+    heads of all queues come first (ties broken by queue index) — the
+    Section-7.1 rule that "if two messages want to enter the same
+    buffer, the first one in the queue in FIFO order will get it".
+    """
+    out = []
+    for qi, q in enumerate(queues):
+        for pos, item in enumerate(q):
+            out.append((pos, qi, item))
+    out.sort(key=lambda t: (t[0], t[1]))
+    return out

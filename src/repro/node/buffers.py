@@ -1,0 +1,78 @@
+"""Single-slot link buffers.
+
+Each physical link direction carries one input and one output buffer
+*per traffic class* (Section 6): a static class per target central
+queue, plus one class for dynamic-link traffic.  Buffers hold exactly
+one packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..core.message import Message
+
+
+@dataclass
+class Buffer:
+    """A one-packet buffer attached to a link direction and class."""
+
+    link: tuple[Hashable, Hashable]  #: directed link (u, v)
+    cls: str  #: traffic class (a queue kind or the dynamic class)
+    slot: Message | None = None
+
+    @property
+    def empty(self) -> bool:
+        return self.slot is None
+
+    def put(self, msg: Message) -> None:
+        if self.slot is not None:
+            raise RuntimeError(f"buffer {self.link}/{self.cls} overrun")
+        self.slot = msg
+
+    def take(self) -> Message:
+        if self.slot is None:
+            raise RuntimeError(f"buffer {self.link}/{self.cls} underrun")
+        msg, self.slot = self.slot, None
+        return msg
+
+
+@dataclass
+class BufferPair:
+    """The output buffer (at the sender) and input buffer (at the
+    receiver) of one link direction and class."""
+
+    out: Buffer
+    inp: Buffer
+
+    @classmethod
+    def for_link(
+        cls, u: Hashable, v: Hashable, traffic_class: str
+    ) -> "BufferPair":
+        return cls(
+            out=Buffer((u, v), traffic_class),
+            inp=Buffer((u, v), traffic_class),
+        )
+
+
+@dataclass
+class OccupancyStats:
+    """Running occupancy statistics for one queue or buffer class."""
+
+    samples: int = 0
+    total: int = 0
+    peak: int = 0
+    _series: list[int] = field(default_factory=list, repr=False)
+
+    def record(self, occupancy: int, keep_series: bool = False) -> None:
+        self.samples += 1
+        self.total += occupancy
+        if occupancy > self.peak:
+            self.peak = occupancy
+        if keep_series:
+            self._series.append(occupancy)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.samples if self.samples else 0.0

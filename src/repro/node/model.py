@@ -1,0 +1,155 @@
+"""Functional node designs (paper, Section 6, Figures 4-6).
+
+A :class:`NodeDesign` enumerates, for one node of the network, every
+hardware resource the routing algorithm requires:
+
+* the injection and delivery queues,
+* the central queues with their capacities,
+* per incident link direction, the input/output buffers split by
+  traffic class (one static class per target central queue that can
+  arrive over that link, plus one class for dynamic-link traffic), and
+* the internal connections between queues (phase changes, delivery).
+
+The designs are derived *from the routing function itself* by probing
+which transitions exist, so the structures reproduce Figures 4-6
+mechanically; :mod:`repro.analysis.figures` renders them, and the
+simulator instantiates its buffers from the same description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..core.queues import DELIVER, INJECT, QueueSpec
+from ..core.routing_function import RoutingAlgorithm
+
+
+@dataclass(frozen=True)
+class LinkBufferSet:
+    """Buffer classes of one directed link as seen from one node."""
+
+    link: tuple[Hashable, Hashable]  #: directed link (u, v)
+    link_index: int  #: service order at the sending node
+    classes: tuple[str, ...]  #: traffic classes (queue kinds / ``dyn``)
+
+
+@dataclass
+class NodeDesign:
+    """The functional design of one routing node."""
+
+    node: Hashable
+    algorithm_name: str
+    central_queues: tuple[str, ...]
+    queue_specs: dict[str, QueueSpec]
+    #: Output buffer sets, one per outgoing link, in service order.
+    output_links: list[LinkBufferSet] = field(default_factory=list)
+    #: Input buffer sets, one per incoming link.
+    input_links: list[LinkBufferSet] = field(default_factory=list)
+    #: Internal queue-to-queue connections (e.g. ``("A", "B")``).
+    internal_connections: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def num_central_queues(self) -> int:
+        return len(self.central_queues)
+
+    @property
+    def num_buffers(self) -> int:
+        return sum(len(l.classes) for l in self.output_links) + sum(
+            len(l.classes) for l in self.input_links
+        )
+
+    def describe(self, format_node=str) -> str:
+        """Multi-line textual rendering (the Figure 4-6 analogue)."""
+        lines = [
+            f"node {format_node(self.node)} [{self.algorithm_name}]",
+            f"  queues: {INJECT}(cap=1), "
+            + ", ".join(
+                f"{k}(cap={self.queue_specs[k].capacity})"
+                for k in self.central_queues
+            )
+            + f", {DELIVER}(cap=inf)",
+        ]
+        for l in self.output_links:
+            lines.append(
+                f"  out link#{l.link_index} -> {format_node(l.link[1])}: "
+                + ", ".join(l.classes)
+            )
+        for l in self.input_links:
+            lines.append(
+                f"  in  link from {format_node(l.link[0])}: "
+                + ", ".join(l.classes)
+            )
+        if self.internal_connections:
+            lines.append(
+                "  internal: "
+                + ", ".join(f"{a} -> {b}" for a, b in self.internal_connections)
+            )
+        return "\n".join(lines)
+
+
+def derive_internal_connections(
+    algorithm: RoutingAlgorithm, node: Hashable
+) -> list[tuple[str, str]]:
+    """Internal queue-to-queue connections implied by the algorithm.
+
+    Probes the routing function over all destinations and collects
+    transitions that stay within ``node`` (phase switches and delivery).
+    Exact for state-free algorithms; for stateful algorithms it probes
+    the state space reachable through single-queue inspection, which
+    covers every kind pair in practice (tests compare against the
+    exhaustive exploration).
+    """
+    found: set[tuple[str, str]] = set()
+    kinds = algorithm.central_queue_kinds(node)
+    for dst in algorithm.topology.nodes():
+        from ..core.qdg import explore
+
+        # Exhaustive per-destination exploration is exact but costly;
+        # only used for small figure-scale instances.
+        exp = explore(algorithm, destinations=[dst])
+        for t in exp.transitions:
+            if (
+                t.q_from.node == node
+                and t.q_to.node == node
+                and t.q_from.kind in kinds
+            ):
+                found.add((t.q_from.kind, t.q_to.kind))
+    return sorted(found)
+
+
+def build_node_design(
+    algorithm: RoutingAlgorithm,
+    node: Hashable,
+    central_capacity: int = 5,
+    derive_internal: bool = False,
+) -> NodeDesign:
+    """Instantiate the Section-6 node design for ``node``."""
+    topo = algorithm.topology
+    design = NodeDesign(
+        node=node,
+        algorithm_name=algorithm.name,
+        central_queues=algorithm.central_queue_kinds(node),
+        queue_specs=algorithm.queue_specs(node, central_capacity),
+    )
+    for v in sorted(topo.neighbors(node), key=lambda w: topo.link_index(node, w)):
+        design.output_links.append(
+            LinkBufferSet(
+                link=(node, v),
+                link_index=topo.link_index(node, v),
+                classes=algorithm.buffer_classes(node, v),
+            )
+        )
+    for u in topo.in_neighbors(node):
+        design.input_links.append(
+            LinkBufferSet(
+                link=(u, node),
+                link_index=topo.link_index(u, node),
+                classes=algorithm.buffer_classes(u, node),
+            )
+        )
+    if derive_internal:
+        design.internal_connections = derive_internal_connections(
+            algorithm, node
+        )
+    return design

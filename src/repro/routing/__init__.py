@@ -1,0 +1,43 @@
+"""Routing algorithms: the paper's schemes and baselines."""
+
+from .buffer_pool import StructuredBufferPoolRouting
+from .benes import BenesAdaptiveRouting, BenesObliviousRouting, BenesTraffic
+from .ccc import CCCAdaptiveRouting
+from .hypercube import (
+    HypercubeAdaptiveRouting,
+    HypercubeHungRouting,
+    HypercubeObliviousRouting,
+    all_hypercube_algorithms,
+)
+from .mesh import (
+    Mesh2DAdaptiveRouting,
+    Mesh2DRestrictedRouting,
+    MeshAdaptiveRouting,
+    MeshObliviousRouting,
+    MeshRestrictedRouting,
+)
+from .shuffle_exchange import (
+    ShuffleExchangeRouting,
+    required_classes_per_phase,
+)
+from .torus import TorusRouting
+
+__all__ = [
+    "BenesAdaptiveRouting",
+    "BenesObliviousRouting",
+    "BenesTraffic",
+    "CCCAdaptiveRouting",
+    "HypercubeAdaptiveRouting",
+    "HypercubeHungRouting",
+    "HypercubeObliviousRouting",
+    "all_hypercube_algorithms",
+    "MeshRestrictedRouting",
+    "MeshAdaptiveRouting",
+    "MeshObliviousRouting",
+    "Mesh2DRestrictedRouting",
+    "Mesh2DAdaptiveRouting",
+    "TorusRouting",
+    "ShuffleExchangeRouting",
+    "required_classes_per_phase",
+    "StructuredBufferPoolRouting",
+]

@@ -1,0 +1,192 @@
+"""Hypercube routing algorithms (paper, Section 3).
+
+The paper's algorithm hangs the hypercube from node ``0...0``:
+
+* **Phase A** (queues ``qA``): the message corrects the *incorrect
+  zeros* of its address into ones, moving "downwards" toward
+  ``1...1``.
+* **Phase B** (queues ``qB``): the message corrects the incorrect ones
+  into zeros, moving back "upwards" toward ``0...0``.
+
+With only these (static) moves the scheme — due to [BGSS89]/[Kon90] —
+is deadlock free but crowds the region around ``1...1``.  The paper
+adds **dynamic links** that also let a phase-A message correct a 1
+into a 0 whenever it finds space, which makes the algorithm *fully
+adaptive* and *minimal* while still using just two central queues per
+node (Theorem 1).
+
+This module ships three variants sharing the same queue structure:
+
+* :class:`HypercubeAdaptiveRouting` — the paper's fully-adaptive
+  algorithm (static + dynamic links),
+* :class:`HypercubeHungRouting` — the underlying static two-phase
+  algorithm (partially adaptive),
+* :class:`HypercubeObliviousRouting` — a deterministic restriction
+  (always the lowest eligible dimension) used as an oblivious baseline.
+
+A fourth algorithm, :class:`repro.routing.buffer_pool.StructuredBufferPoolRouting`,
+provides the classic hop-level structured-buffer-pool comparison point
+the paper criticises as hardware-hungry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from ..core.queues import QueueId, deliver
+from ..core.routing_function import DYNAMIC_CLASS, RoutingAlgorithm
+from ..topology.hypercube import Hypercube
+
+#: Phase-A central queue kind.
+QA = "A"
+#: Phase-B central queue kind.
+QB = "B"
+
+
+class HypercubeHungRouting(RoutingAlgorithm):
+    """The underlying static two-phase ("hung") algorithm.
+
+    Phase A corrects incorrect 0s (in any order — the scheme is
+    partially adaptive); phase B corrects incorrect 1s (any order).
+    Its QDG is acyclic, so it is deadlock free on its own.
+    """
+
+    name = "hypercube-hung"
+    is_minimal = True
+    is_fully_adaptive = False
+
+    def __init__(self, topology: Hypercube):
+        if not isinstance(topology, Hypercube):
+            raise TypeError("requires a Hypercube topology")
+        super().__init__(topology)
+        self.n = topology.n
+
+    # -- queue structure ------------------------------------------------
+    def central_queue_kinds(self, node: int) -> tuple[str, ...]:
+        return (QA, QB)
+
+    # -- helpers ---------------------------------------------------------
+    def _zeros_to_fix(self, u: int, dst: int) -> int:
+        """Bit mask of dimensions where ``u`` has 0 and ``dst`` has 1."""
+        return ~u & dst & self.topology._mask
+
+    def _ones_to_fix(self, u: int, dst: int) -> int:
+        """Bit mask of dimensions where ``u`` has 1 and ``dst`` has 0."""
+        return u & ~dst & self.topology._mask
+
+    @staticmethod
+    def _dims(mask: int):
+        while mask:
+            low = mask & -mask
+            yield low.bit_length() - 1
+            mask ^= low
+
+    # -- routing function -------------------------------------------------
+    def injection_targets(
+        self, src: int, dst: int, state: Any = None
+    ) -> frozenset[QueueId]:
+        if self._zeros_to_fix(src, dst):
+            return frozenset({QueueId(src, QA)})
+        return frozenset({QueueId(src, QB)})
+
+    def static_hops(
+        self, q: QueueId, dst: int, state: Any = None
+    ) -> frozenset[QueueId]:
+        u = q.node
+        if q.kind == QA:
+            if u == dst:
+                return frozenset({deliver(dst)})
+            zeros = self._zeros_to_fix(u, dst)
+            if zeros:
+                return frozenset(
+                    QueueId(u ^ (1 << i), QA) for i in self._dims(zeros)
+                )
+            # Only incorrect ones remain: change phase in place.
+            return frozenset({QueueId(u, QB)})
+        if q.kind == QB:
+            if u == dst:
+                return frozenset({deliver(dst)})
+            diffs = u ^ dst
+            return frozenset(
+                QueueId(u ^ (1 << i), QB) for i in self._dims(diffs)
+            )
+        raise ValueError(f"no hops from {q}")
+
+    def buffer_classes(self, u: int, v: int) -> tuple[str, ...]:
+        """Down-links carry phase-A traffic, up-links phase-B traffic."""
+        dim = self.topology.link_index(u, v)
+        if (u >> dim) & 1 == 0:
+            return (QA,)
+        return (QB,)
+
+
+class HypercubeAdaptiveRouting(HypercubeHungRouting):
+    """The paper's fully-adaptive minimal algorithm (Theorem 1).
+
+    Extends :class:`HypercubeHungRouting` with dynamic links: while a
+    phase-A message still has a 0 to correct, it may also correct any
+    incorrect 1, staying in the ``qA`` queues.
+    """
+
+    name = "hypercube-adaptive"
+    is_minimal = True
+    is_fully_adaptive = True
+
+    def dynamic_hops(
+        self, q: QueueId, dst: int, state: Any = None
+    ) -> frozenset[QueueId]:
+        if q.kind != QA:
+            return frozenset()
+        u = q.node
+        if not self._zeros_to_fix(u, dst):
+            return frozenset()
+        ones = self._ones_to_fix(u, dst)
+        return frozenset(QueueId(u ^ (1 << i), QA) for i in self._dims(ones))
+
+    def buffer_classes(self, u: int, v: int) -> tuple[str, ...]:
+        """Per Figure 4: down-links carry static-A traffic only;
+        up-links carry static-B and dynamic-A traffic."""
+        dim = self.topology.link_index(u, v)
+        if (u >> dim) & 1 == 0:
+            return (QA,)
+        return (QB, DYNAMIC_CLASS)
+
+
+class HypercubeObliviousRouting(HypercubeHungRouting):
+    """Deterministic restriction of the hung scheme (oblivious baseline).
+
+    Phase A corrects the lowest incorrect-0 dimension first; phase B
+    the lowest incorrect-1 dimension.  Each source/destination pair has
+    exactly one route, so the algorithm is oblivious, minimal, and
+    (being a sub-function of the hung DAG) deadlock free.
+    """
+
+    name = "hypercube-oblivious"
+    is_minimal = True
+    is_fully_adaptive = False
+
+    def static_hops(
+        self, q: QueueId, dst: int, state: Any = None
+    ) -> frozenset[QueueId]:
+        hops = super().static_hops(q, dst, state)
+        movers = [h for h in hops if h.is_central and h.node != q.node]
+        if len(movers) <= 1:
+            return hops
+        # Keep only the lowest-dimension move.
+        u = q.node
+        best = min(movers, key=lambda h: (u ^ h.node).bit_length())
+        return frozenset({best})
+
+
+def all_hypercube_algorithms(n: int) -> dict[str, RoutingAlgorithm]:
+    """Instantiate every hypercube algorithm on an ``n``-cube."""
+    cube = Hypercube(n)
+    algos: dict[str, RoutingAlgorithm] = {}
+    for cls in (
+        HypercubeAdaptiveRouting,
+        HypercubeHungRouting,
+        HypercubeObliviousRouting,
+    ):
+        alg = cls(cube)
+        algos[alg.name] = alg
+    return algos

@@ -1,0 +1,162 @@
+"""Mesh routing algorithms (paper, Section 4).
+
+The mesh is hung from node ``(0, 0)`` in phase A and from
+``(n-1, n-1)`` in phase B:
+
+* **Phase A** (queues ``qA``): static hops increase a coordinate that
+  is below its destination value; the *dynamic links* additionally
+  allow any minimal decreasing hop while an increasing correction
+  remains.
+* **Phase B** (queues ``qB``): hops decrease coordinates toward the
+  destination.  A message switches A -> B (an internal move) once every
+  destination coordinate is <= its current coordinate.
+
+The paper presents the restricted (static-only) scheme first and then
+the fully-adaptive extension; both are implemented, plus an oblivious
+deterministic restriction as a baseline.  Everything is written for
+k-dimensional meshes (the paper notes the generalisation is easy); the
+2-D classes below merely fix ``k = 2``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.queues import QueueId, deliver
+from ..core.routing_function import RoutingAlgorithm
+from ..topology.mesh import Coord, Mesh, Mesh2D
+
+QA = "A"
+QB = "B"
+
+
+class MeshRestrictedRouting(RoutingAlgorithm):
+    """The paper's first (static, partially adaptive) mesh scheme.
+
+    Phase A moves only toward higher coordinates; phase B only toward
+    lower ones.  Its QDG is acyclic.  A message heading "north-west"
+    (one coordinate up, one down) has exactly one route — no adaptivity
+    at all, which is the motivation for the dynamic-link extension.
+    """
+
+    name = "mesh-restricted"
+    is_minimal = True
+    is_fully_adaptive = False
+
+    def __init__(self, topology: Mesh):
+        if not isinstance(topology, Mesh):
+            raise TypeError("requires a Mesh topology")
+        super().__init__(topology)
+        self.k = topology.k
+
+    def central_queue_kinds(self, node: Coord) -> tuple[str, ...]:
+        return (QA, QB)
+
+    # -- helpers ---------------------------------------------------------
+    def _ups(self, u: Coord, dst: Coord) -> tuple[int, ...]:
+        """Dimensions still needing an increasing correction."""
+        return tuple(i for i in range(self.k) if dst[i] > u[i])
+
+    def _downs(self, u: Coord, dst: Coord) -> tuple[int, ...]:
+        """Dimensions still needing a decreasing correction."""
+        return tuple(i for i in range(self.k) if dst[i] < u[i])
+
+    # -- routing function -------------------------------------------------
+    def injection_targets(
+        self, src: Coord, dst: Coord, state: Any = None
+    ) -> frozenset[QueueId]:
+        if self._ups(src, dst):
+            return frozenset({QueueId(src, QA)})
+        return frozenset({QueueId(src, QB)})
+
+    def static_hops(
+        self, q: QueueId, dst: Coord, state: Any = None
+    ) -> frozenset[QueueId]:
+        u = q.node
+        topo: Mesh = self.topology
+        if q.kind == QA:
+            if u == dst:
+                return frozenset({deliver(dst)})
+            ups = self._ups(u, dst)
+            if ups:
+                return frozenset(
+                    QueueId(topo.step(u, i, +1), QA) for i in ups
+                )
+            return frozenset({QueueId(u, QB)})
+        if q.kind == QB:
+            if u == dst:
+                return frozenset({deliver(dst)})
+            return frozenset(
+                QueueId(topo.step(u, i, -1), QB)
+                for i in self._downs(u, dst)
+            )
+        raise ValueError(f"no hops from {q}")
+
+
+class MeshAdaptiveRouting(MeshRestrictedRouting):
+    """The paper's fully-adaptive minimal mesh algorithm (Theorem 2).
+
+    Dynamic links let a phase-A message also take any minimal
+    *decreasing* hop, provided an increasing correction remains (so a
+    static escape path survives).
+    """
+
+    name = "mesh-adaptive"
+    is_minimal = True
+    is_fully_adaptive = True
+
+    def dynamic_hops(
+        self, q: QueueId, dst: Coord, state: Any = None
+    ) -> frozenset[QueueId]:
+        if q.kind != QA:
+            return frozenset()
+        u = q.node
+        if not self._ups(u, dst):
+            return frozenset()
+        topo: Mesh = self.topology
+        return frozenset(
+            QueueId(topo.step(u, i, -1), QA) for i in self._downs(u, dst)
+        )
+
+
+class MeshObliviousRouting(MeshRestrictedRouting):
+    """Deterministic restriction (lowest dimension first): oblivious
+    minimal baseline with the same two-queue structure."""
+
+    name = "mesh-oblivious"
+    is_minimal = True
+    is_fully_adaptive = False
+
+    def static_hops(
+        self, q: QueueId, dst: Coord, state: Any = None
+    ) -> frozenset[QueueId]:
+        hops = super().static_hops(q, dst, state)
+        movers = sorted(
+            (h for h in hops if h.is_central and h.node != q.node),
+            key=lambda h: h.node,
+        )
+        if len(movers) <= 1:
+            return hops
+        return frozenset({movers[0]})
+
+
+class Mesh2DRestrictedRouting(MeshRestrictedRouting):
+    """Section 4's first routing function, on a 2-D mesh."""
+
+    name = "mesh2d-restricted"
+
+    def __init__(self, topology: Mesh2D):
+        if not isinstance(topology, Mesh2D):
+            raise TypeError("requires a Mesh2D topology")
+        super().__init__(topology)
+
+
+class Mesh2DAdaptiveRouting(MeshAdaptiveRouting):
+    """Section 4's fully-adaptive routing function, on a 2-D mesh."""
+
+    name = "mesh2d-adaptive"
+
+    def __init__(self, topology: Mesh2D):
+        if not isinstance(topology, Mesh2D):
+            raise TypeError("requires a Mesh2D topology")
+        super().__init__(topology)

@@ -1,0 +1,50 @@
+"""Cycle-accurate simulation: engine, injection models, traffic, metrics."""
+
+from .engine import DeadlockError, PacketSimulator
+from .fastcube import FastHypercubeSimulator
+from .injection import DynamicInjection, InjectionModel, StaticInjection
+from .metrics import LatencyStats, SimulationResult
+from .rng import make_rng
+from .trace import TraceEvent, TracingSimulator
+from .traffic import (
+    BitReversalTraffic,
+    HotspotTraffic,
+    ComplementTraffic,
+    LeveledPermutationTraffic,
+    MeshTransposeTraffic,
+    PermutationTraffic,
+    RandomTraffic,
+    ShufflePermutationTraffic,
+    TornadoTraffic,
+    TrafficPattern,
+    TransposeTraffic,
+    hypercube_pattern,
+    transpose_address,
+)
+
+__all__ = [
+    "PacketSimulator",
+    "FastHypercubeSimulator",
+    "DeadlockError",
+    "InjectionModel",
+    "StaticInjection",
+    "DynamicInjection",
+    "LatencyStats",
+    "SimulationResult",
+    "make_rng",
+    "TracingSimulator",
+    "TraceEvent",
+    "TrafficPattern",
+    "RandomTraffic",
+    "PermutationTraffic",
+    "ComplementTraffic",
+    "TransposeTraffic",
+    "LeveledPermutationTraffic",
+    "BitReversalTraffic",
+    "HotspotTraffic",
+    "ShufflePermutationTraffic",
+    "MeshTransposeTraffic",
+    "TornadoTraffic",
+    "hypercube_pattern",
+    "transpose_address",
+]

@@ -1,0 +1,109 @@
+"""Latency and throughput metrics (paper, Section 7).
+
+The paper reports, per configuration, the average latency ``L_avg``,
+the maximum latency ``L_max``, and — for dynamic injection — the
+effective injection rate ``I_r`` (successful injection attempts over
+total attempts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class LatencyStats:
+    """Accumulates delivery latencies."""
+
+    values: list[int] = field(default_factory=list)
+
+    def record(self, latency: int) -> None:
+        self.values.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else float("nan")
+
+    @property
+    def maximum(self) -> int:
+        return max(self.values) if self.values else 0
+
+    @property
+    def minimum(self) -> int:
+        return min(self.values) if self.values else 0
+
+    def percentile(self, p: float) -> float:
+        if not self.values:
+            return float("nan")
+        return float(np.percentile(self.values, p))
+
+    def histogram(self, bins: int = 20) -> tuple[np.ndarray, np.ndarray]:
+        return np.histogram(np.asarray(self.values), bins=bins)
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run reports.
+
+    ``latency`` covers messages *injected* after the warm-up window;
+    ``attempts``/``successes`` count post-warm-up injection attempts,
+    giving the paper's effective injection rate.
+    """
+
+    algorithm: str
+    topology: str
+    pattern: str
+    injection: str
+    cycles: int
+    injected: int
+    delivered: int
+    latency: LatencyStats
+    attempts: int = 0
+    successes: int = 0
+    undelivered: int = 0
+    occupancy: dict = field(default_factory=dict)
+    seed: int | None = None
+
+    @property
+    def l_avg(self) -> float:
+        """Paper's ``L_avg``."""
+        return self.latency.mean
+
+    @property
+    def l_max(self) -> int:
+        """Paper's ``L_max``."""
+        return self.latency.maximum
+
+    @property
+    def injection_rate(self) -> float:
+        """Paper's ``I_r`` as a fraction in [0, 1]."""
+        if self.attempts == 0:
+            return float("nan")
+        return self.successes / self.attempts
+
+    @property
+    def throughput(self) -> float:
+        """Delivered messages per node per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.delivered / self.cycles
+
+    def row(self) -> dict:
+        """Flat dict for table rendering."""
+        out = {
+            "algorithm": self.algorithm,
+            "pattern": self.pattern,
+            "L_avg": round(self.l_avg, 2),
+            "L_max": self.l_max,
+            "delivered": self.delivered,
+            "cycles": self.cycles,
+        }
+        if self.attempts:
+            out["I_r(%)"] = round(100.0 * self.injection_rate, 1)
+        return out

@@ -1,0 +1,41 @@
+"""Interconnection-network topologies (hypercube, mesh, torus, shuffle-exchange)."""
+
+from .base import Topology, bfs_distance
+from .benes import BenesNetwork
+from .ccc import CubeConnectedCycles
+from .hypercube import (
+    Hypercube,
+    differing_dimensions,
+    flip_bit,
+    hamming_distance,
+    hamming_weight,
+)
+from .mesh import Mesh, Mesh2D
+from .shuffle_exchange import (
+    ShuffleExchange,
+    cycle_break_node,
+    rol,
+    ror,
+    shuffle_cycle,
+)
+from .torus import Torus
+
+__all__ = [
+    "Topology",
+    "bfs_distance",
+    "BenesNetwork",
+    "CubeConnectedCycles",
+    "Hypercube",
+    "flip_bit",
+    "hamming_weight",
+    "hamming_distance",
+    "differing_dimensions",
+    "Mesh",
+    "Mesh2D",
+    "Torus",
+    "ShuffleExchange",
+    "rol",
+    "ror",
+    "shuffle_cycle",
+    "cycle_break_node",
+]

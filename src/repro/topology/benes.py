@@ -1,0 +1,115 @@
+"""Beneš network (back-to-back butterflies).
+
+The paper motivates full adaptivity with Upfal's multibutterfly — a
+network "extremely rich in the number of minimal paths".  The Beneš
+network is the classic constructive member of that family: two
+mirrored butterflies, ``2n + 1`` levels of ``2**n`` rows, with
+``2**n`` distinct minimal paths between every input/output pair.
+
+Nodes are ``(level, row)`` with ``0 <= level <= 2n``.  Stage ``l``
+(the links from level ``l`` to ``l + 1``) flips bit ``n-1-l`` in the
+first half and bit ``l-n`` in the mirrored second half; each node has
+a *straight* and a *cross* out-link.  All links are directed forward,
+so any leveled routing function is trivially deadlock free — the
+levels are the hanging order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .base import Topology
+
+Node = tuple[int, int]  #: (level, row)
+
+
+class BenesNetwork(Topology):
+    """The ``2**n``-row Beneš network with ``2n + 1`` levels."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("Benes network needs n >= 1")
+        self.n = n
+        self.levels = 2 * n + 1
+        self.rows = 1 << n
+        self.name = f"benes({n})"
+
+    @property
+    def num_nodes(self) -> int:
+        return self.levels * self.rows
+
+    def nodes(self) -> Iterator[Node]:
+        for l in range(self.levels):
+            for r in range(self.rows):
+                yield (l, r)
+
+    def stage_bit(self, level: int) -> int:
+        """The row bit stage ``level`` can flip."""
+        if not 0 <= level < 2 * self.n:
+            raise ValueError(f"no stage at level {level}")
+        return self.n - 1 - level if level < self.n else level - self.n
+
+    def neighbors(self, u: Node) -> tuple[Node, ...]:
+        l, r = u
+        if l >= 2 * self.n:
+            return ()  # outputs have no forward links
+        bit = 1 << self.stage_bit(l)
+        return ((l + 1, r), (l + 1, r ^ bit))
+
+    def in_neighbors(self, u: Node) -> tuple[Node, ...]:
+        l, r = u
+        if l == 0:
+            return ()
+        bit = 1 << self.stage_bit(l - 1)
+        return ((l - 1, r), (l - 1, r ^ bit))
+
+    def link_index(self, u: Node, v: Node) -> int:
+        nbrs = self.neighbors(u)
+        try:
+            return nbrs.index(v)
+        except ValueError:
+            raise ValueError(f"no Benes link {u} -> {v}") from None
+
+    def distance(self, u: Node, v: Node) -> int:
+        """Forward distance; raises for unreachable (backward) pairs."""
+        lu, _ = u
+        lv, _ = v
+        if u == v:
+            return 0
+        if lv <= lu:
+            raise ValueError(f"{v} not reachable from {u}")
+        # Forward routes always advance one level per hop, and any row
+        # is reachable once enough free stages remain; reachability of
+        # the specific row is guaranteed in the Benes structure for
+        # input->output pairs, and checked here for general ones.
+        if not self._reachable(u, v):
+            raise ValueError(f"{v} not reachable from {u}")
+        return lv - lu
+
+    def _reachable(self, u: Node, v: Node) -> bool:
+        lu, ru = u
+        lv, rv = v
+        # Bits that differ must be flippable by some stage in lu..lv-1.
+        flippable = 0
+        for l in range(lu, lv):
+            flippable |= 1 << self.stage_bit(l)
+        return (ru ^ rv) & ~flippable == 0
+
+    @property
+    def diameter(self) -> int:
+        return 2 * self.n
+
+    def inputs(self) -> list[Node]:
+        return [(0, r) for r in range(self.rows)]
+
+    def outputs(self) -> list[Node]:
+        return [(2 * self.n, r) for r in range(self.rows)]
+
+    def validate(self) -> None:  # overrides: outputs legitimately have
+        seen = set(self.nodes())  # no out-links, and links are one-way.
+        assert len(seen) == self.num_nodes
+        for u in self.nodes():
+            for v in self.neighbors(u):
+                assert v in seen
+                assert self.distance(u, v) == 1
+                assert u in self.in_neighbors(v)

@@ -1,0 +1,104 @@
+"""Cube-connected cycles (CCC).
+
+The paper's introduction lists cube-connected cycles among the
+networks its hanging methodology covers (via [PFGS91]).  A CCC of
+dimension ``n`` replaces every node of the ``n``-cube with a cycle of
+``n`` nodes; node ``(w, p)`` (cube address ``w``, cycle position
+``p``) connects to
+
+* its cycle neighbors ``(w, p±1 mod n)``, and
+* its cube partner ``(w ^ 2**p, p)`` — the dimension-``p`` link.
+
+Every node has degree 3, which is the CCC's raison d'être: hypercube
+routing power at bounded degree.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator
+
+from .base import Topology
+
+Node = tuple[int, int]  #: (cube address w, cycle position p)
+
+
+class CubeConnectedCycles(Topology):
+    """The ``n``-dimensional CCC with ``n * 2**n`` nodes."""
+
+    def __init__(self, n: int):
+        if n < 3:
+            raise ValueError("CCC needs n >= 3 (cycles of length >= 3)")
+        self.n = n
+        self.name = f"ccc({n})"
+        self._mask = (1 << n) - 1
+
+    @property
+    def num_nodes(self) -> int:
+        return self.n << self.n
+
+    def nodes(self) -> Iterator[Node]:
+        for w in range(1 << self.n):
+            for p in range(self.n):
+                yield (w, p)
+
+    def contains(self, u: Node) -> bool:
+        return (
+            len(u) == 2
+            and 0 <= u[0] <= self._mask
+            and 0 <= u[1] < self.n
+        )
+
+    def cycle_next(self, u: Node) -> Node:
+        """Cycle neighbor in the ascending (+1) direction."""
+        return (u[0], (u[1] + 1) % self.n)
+
+    def cycle_prev(self, u: Node) -> Node:
+        return (u[0], (u[1] - 1) % self.n)
+
+    def cube_partner(self, u: Node) -> Node:
+        """The dimension-``p`` hypercube neighbor."""
+        return (u[0] ^ (1 << u[1]), u[1])
+
+    def neighbors(self, u: Node) -> tuple[Node, ...]:
+        return (self.cube_partner(u), self.cycle_next(u), self.cycle_prev(u))
+
+    def is_adjacent(self, u: Node, v: Node) -> bool:
+        return v in self.neighbors(u)
+
+    def link_index(self, u: Node, v: Node) -> int:
+        nbrs = self.neighbors(u)
+        try:
+            return nbrs.index(v)
+        except ValueError:
+            raise ValueError(f"no CCC link {u} -> {v}") from None
+
+    def is_cycle_link(self, u: Node, v: Node) -> bool:
+        return u[0] == v[0] and v in (self.cycle_next(u), self.cycle_prev(u))
+
+    def is_cube_link(self, u: Node, v: Node) -> bool:
+        return v == self.cube_partner(u)
+
+    @lru_cache(maxsize=None)
+    def _dist_from(self, u: Node) -> dict[Node, int]:
+        dist = {u: 0}
+        frontier = [u]
+        while frontier:
+            nxt = []
+            for w in frontier:
+                for x in self.neighbors(w):
+                    if x not in dist:
+                        dist[x] = dist[w] + 1
+                        nxt.append(x)
+            frontier = nxt
+        return dist
+
+    def distance(self, u: Node, v: Node) -> int:
+        return self._dist_from(u)[v]
+
+    def level(self, u: Node) -> int:
+        """Hamming weight of the cube address (the hanging level)."""
+        return bin(u[0]).count("1")
+
+    def format_node(self, u: Node) -> str:
+        return f"({format(u[0], f'0{self.n}b')},{u[1]})"

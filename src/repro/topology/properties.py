@@ -1,0 +1,128 @@
+"""Graph-theoretic properties of the topologies.
+
+Used by the analysis layer to put simulation numbers in context: the
+saturation throughput of a pattern is bounded by the channel
+bisection it must cross, and the uncontended latency by the average
+distance.  (E.g. the paper's Table 10 — complement at λ=1 sustaining
+I_r ≈ 0.5 — is the hypercube's per-dimension cut operating at
+capacity.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+import numpy as np
+
+from .base import Topology
+
+
+def average_distance(topology: Topology, sample: int | None = None,
+                     seed: int = 0) -> float:
+    """Mean shortest-path distance over ordered node pairs.
+
+    With ``sample`` set, estimates from that many random pairs
+    (exact enumeration is quadratic in N).
+    """
+    nodes = list(topology.nodes())
+    if sample is None:
+        total = count = 0
+        for u in nodes:
+            for v in nodes:
+                if u != v:
+                    total += topology.distance(u, v)
+                    count += 1
+        return total / count
+    rng = np.random.default_rng(seed)
+    total = 0
+    n = len(nodes)
+    for _ in range(sample):
+        i, j = rng.integers(n), rng.integers(n)
+        while j == i:
+            j = rng.integers(n)
+        total += topology.distance(nodes[int(i)], nodes[int(j)])
+    return total / sample
+
+
+def directed_cut(
+    topology: Topology, side_a: Iterable[Hashable]
+) -> tuple[int, int]:
+    """Directed link counts crossing a node bipartition (A -> B, B -> A)."""
+    a = set(side_a)
+    ab = ba = 0
+    for u in topology.nodes():
+        for v in topology.neighbors(u):
+            if u in a and v not in a:
+                ab += 1
+            elif u not in a and v in a:
+                ba += 1
+    return ab, ba
+
+
+def cut_load(
+    topology: Topology,
+    side_a: Iterable[Hashable],
+    destination_of: Callable[[Hashable], Hashable],
+) -> float:
+    """Lower bound on cycles/message for a permutation across a cut.
+
+    Counts messages that must cross from A to B (each crossing at
+    least once on any path) divided by the A->B directed link count:
+    the minimum average link load the permutation imposes on the cut.
+    A value of ``x`` bounds the sustainable injection rate by ``1/x``.
+    """
+    a = set(side_a)
+    crossing = sum(
+        1 for u in a if destination_of(u) is not None and destination_of(u) not in a
+    )
+    ab, _ = directed_cut(topology, a)
+    if ab == 0:
+        raise ValueError("side_a has no outgoing links")
+    return crossing / ab
+
+
+def dimension_cut_load_hypercube(n: int, destination_of) -> float:
+    """Worst per-dimension cut load of a hypercube permutation.
+
+    For each dimension ``i`` the bipartition is by bit ``i``; the cut
+    has ``2**(n-1)`` links per direction.  The complement permutation
+    crosses every cut with every message, loading each direction at
+    exactly 1.0 — zero slack, so any arbitration or pipelining loss
+    drives the sustainable injection rate strictly below 1 (the
+    paper's Table 10 sits near 0.5).  Uniform random traffic loads the
+    cuts at 0.5 and keeps half the capacity in reserve, matching the
+    benign Table 9 behaviour.
+    """
+    from .hypercube import Hypercube
+
+    cube = Hypercube(n)
+    worst = 0.0
+    for i in range(n):
+        side_a = [u for u in cube.nodes() if not (u >> i) & 1]
+        worst = max(worst, cut_load(cube, side_a, destination_of))
+    return worst
+
+
+def degree_histogram(topology: Topology) -> dict[int, int]:
+    """Node count per out-degree."""
+    hist: dict[int, int] = {}
+    for u in topology.nodes():
+        d = len(topology.neighbors(u))
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def is_node_symmetric_sample(
+    topology: Topology, probes: int = 8, seed: int = 0
+) -> bool:
+    """Cheap necessary condition for vertex-transitivity: sampled nodes
+    share the same degree and sorted distance profile."""
+    nodes = list(topology.nodes())
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(len(nodes), size=min(probes, len(nodes)), replace=False)
+    profiles = []
+    for i in idx:
+        u = nodes[int(i)]
+        profile = sorted(topology.distance(u, v) for v in nodes)
+        profiles.append((len(topology.neighbors(u)), profile))
+    return all(p == profiles[0] for p in profiles)

@@ -1,0 +1,156 @@
+"""Shuffle-exchange network.
+
+Nodes are integers ``0 .. 2**n - 1``.  Two kinds of links:
+
+* *shuffle* links: directed ``u -> rol(u)`` where ``rol`` is the left
+  rotation of the ``n``-bit address (the perfect shuffle).  The nodes
+  ``0...0`` and ``1...1`` shuffle onto themselves; those degenerate
+  self-loops are not physical links (the routing algorithm treats a
+  self-shuffle as an internal no-op).
+* *exchange* links: undirected ``u <-> u ^ 1`` (complement the least
+  significant bit).
+
+Removing the exchange links decomposes the network into *shuffle
+cycles* (necklaces); every node of a cycle has the same Hamming weight,
+which the paper calls the cycle's *level* (Section 5).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator
+
+from .base import Topology
+
+
+def rol(u: int, n: int) -> int:
+    """Left-rotate the ``n``-bit address ``u`` by one position."""
+    mask = (1 << n) - 1
+    return ((u << 1) | (u >> (n - 1))) & mask
+
+
+def ror(u: int, n: int) -> int:
+    """Right-rotate the ``n``-bit address ``u`` by one position."""
+    mask = (1 << n) - 1
+    return ((u >> 1) | ((u & 1) << (n - 1))) & mask
+
+
+def shuffle_cycle(u: int, n: int) -> tuple[int, ...]:
+    """The shuffle cycle (necklace) containing ``u``, in rotation order.
+
+    Starts at ``u`` and follows shuffle links until it returns.
+    """
+    out = [u]
+    v = rol(u, n)
+    while v != u:
+        out.append(v)
+        v = rol(v, n)
+    return tuple(out)
+
+
+def cycle_break_node(u: int, n: int) -> int:
+    """The node chosen to break ``u``'s shuffle cycle (its minimum).
+
+    The paper notes any node of a cycle may be chosen; we fix the
+    smallest address so the choice is deterministic.
+    """
+    return min(shuffle_cycle(u, n))
+
+
+class ShuffleExchange(Topology):
+    """The ``2**n``-node shuffle-exchange network."""
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError("shuffle-exchange needs n >= 2")
+        self.n = n
+        self.name = f"shuffle-exchange({n})"
+        self._mask = (1 << n) - 1
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 << self.n
+
+    def nodes(self) -> Iterator[int]:
+        return iter(range(self.num_nodes))
+
+    def shuffle(self, u: int) -> int:
+        return rol(u, self.n)
+
+    def unshuffle(self, u: int) -> int:
+        return ror(u, self.n)
+
+    def exchange(self, u: int) -> int:
+        return u ^ 1
+
+    def neighbors(self, u: int) -> tuple[int, ...]:
+        out = [u ^ 1]
+        s = rol(u, self.n)
+        if s != u:
+            out.append(s)
+        return tuple(out)
+
+    def in_neighbors(self, u: int) -> tuple[int, ...]:
+        out = [u ^ 1]
+        p = ror(u, self.n)
+        if p != u:
+            out.append(p)
+        return tuple(out)
+
+    def link_index(self, u: int, v: int) -> int:
+        """Exchange link is index 0, shuffle link index 1."""
+        if v == (u ^ 1):
+            return 0
+        if v == rol(u, self.n) and v != u:
+            return 1
+        raise ValueError(f"no link {u} -> {v}")
+
+    def is_shuffle_link(self, u: int, v: int) -> bool:
+        return v == rol(u, self.n) and v != u
+
+    def is_exchange_link(self, u: int, v: int) -> bool:
+        return v == (u ^ 1)
+
+    @lru_cache(maxsize=None)
+    def _dist_from(self, u: int) -> dict[int, int]:
+        dist = {u: 0}
+        frontier = [u]
+        while frontier:
+            nxt = []
+            for w in frontier:
+                for x in self.neighbors(w):
+                    if x not in dist:
+                        dist[x] = dist[w] + 1
+                        nxt.append(x)
+            frontier = nxt
+        return dist
+
+    def distance(self, u: int, v: int) -> int:
+        return self._dist_from(u)[v]
+
+    def cycle(self, u: int) -> tuple[int, ...]:
+        """The shuffle cycle containing ``u``."""
+        return shuffle_cycle(u, self.n)
+
+    def cycle_level(self, u: int) -> int:
+        """Level of ``u``'s shuffle cycle: the Hamming weight."""
+        return bin(u).count("1")
+
+    def break_node(self, u: int) -> int:
+        """Break node of ``u``'s shuffle cycle."""
+        return cycle_break_node(u, self.n)
+
+    def all_cycles(self) -> list[tuple[int, ...]]:
+        """Every shuffle cycle, each reported starting at its break node."""
+        seen: set[int] = set()
+        out = []
+        for u in self.nodes():
+            if u in seen:
+                continue
+            cyc = shuffle_cycle(min(shuffle_cycle(u, self.n)), self.n)
+            seen.update(cyc)
+            out.append(cyc)
+        return out
+
+    def format_node(self, u: int) -> str:
+        return format(u, f"0{self.n}b")

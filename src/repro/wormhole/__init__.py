@@ -1,0 +1,54 @@
+"""Worm-hole routing extension (paper, Section 1 / [GPS91]).
+
+Flit-level simulation with virtual channels, escape-channel adaptive
+routing schemes for the hypercube and torus, and machine verification
+of the extended escape channel-dependency-graph condition.
+"""
+
+from .channels import ChannelId, ChannelState
+from .engine import WormholeDeadlockError, WormholeSimulator
+from .flit import FlitKind, Worm, reset_worm_ids
+from .routing import (
+    ADAPTIVE,
+    HungEscapeHypercubeWormhole,
+    HypercubeAdaptiveWormhole,
+    HypercubeEcubeWormhole,
+    TorusAdaptiveWormhole,
+    TorusDimensionOrderWormhole,
+    WormholeScheme,
+)
+from .workload import (
+    BernoulliWormSource,
+    backlog,
+    permutation_worms,
+    run_open_loop,
+)
+from .verification import (
+    WormholeReport,
+    extended_escape_cdg,
+    verify_wormhole_scheme,
+)
+
+__all__ = [
+    "Worm",
+    "FlitKind",
+    "reset_worm_ids",
+    "ChannelId",
+    "ChannelState",
+    "WormholeScheme",
+    "ADAPTIVE",
+    "HypercubeEcubeWormhole",
+    "HypercubeAdaptiveWormhole",
+    "HungEscapeHypercubeWormhole",
+    "TorusDimensionOrderWormhole",
+    "TorusAdaptiveWormhole",
+    "WormholeSimulator",
+    "WormholeDeadlockError",
+    "WormholeReport",
+    "extended_escape_cdg",
+    "verify_wormhole_scheme",
+    "permutation_worms",
+    "BernoulliWormSource",
+    "run_open_loop",
+    "backlog",
+]

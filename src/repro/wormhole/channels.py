@@ -1,0 +1,78 @@
+"""Virtual channels.
+
+Worm-hole routing's critical resources are not queues but *virtual
+channels* (VCs): flit buffers multiplexed over a physical link.  A VC
+is identified by the directed link it sits on plus a class label; the
+channel dependency graph (CDG) over VCs plays the role the QDG plays
+for packet routing (the paper bases its QDG definition on [DS86a]'s
+virtual channels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, NamedTuple
+
+from .flit import Worm
+
+
+class ChannelId(NamedTuple):
+    """A virtual channel on directed link ``u -> v`` with class ``vc``."""
+
+    u: Hashable
+    v: Hashable
+    vc: str
+
+    @property
+    def link(self) -> tuple[Hashable, Hashable]:
+        return (self.u, self.v)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ch[{self.u}->{self.v}:{self.vc}]"
+
+
+@dataclass
+class ChannelState:
+    """Runtime state of one virtual channel in the flit simulator."""
+
+    cid: ChannelId
+    depth: int  #: flit-buffer depth
+    owner: Worm | None = None  #: worm currently holding the channel
+    flits: int = 0  #: flits of the owner currently buffered here
+    entered: int = 0  #: owner flits that have entered so far
+    exited: int = 0  #: owner flits that have left so far
+
+    @property
+    def free(self) -> bool:
+        return self.owner is None
+
+    @property
+    def has_space(self) -> bool:
+        return self.flits < self.depth
+
+    def reserve(self, worm: Worm) -> None:
+        if self.owner is not None:
+            raise RuntimeError(f"{self.cid} already owned")
+        self.owner = worm
+        self.flits = 0
+        self.entered = 0
+        self.exited = 0
+
+    def release(self) -> None:
+        if self.flits:
+            raise RuntimeError(f"releasing non-empty {self.cid}")
+        self.owner = None
+        self.entered = 0
+        self.exited = 0
+
+    def accept_flit(self) -> None:
+        if not self.has_space:
+            raise RuntimeError(f"{self.cid} buffer overrun")
+        self.flits += 1
+        self.entered += 1
+
+    def emit_flit(self) -> None:
+        if self.flits <= 0:
+            raise RuntimeError(f"{self.cid} buffer underrun")
+        self.flits -= 1
+        self.exited += 1

@@ -1,0 +1,258 @@
+"""Flit-level worm-hole simulator.
+
+Models the pipeline behaviour worm-hole routing is known for:
+
+* a worm's **header** advances by acquiring virtual channels; body
+  flits follow through the reserved chain; the **tail** releases each
+  channel as it passes;
+* each virtual channel buffers ``depth`` flits (default 2);
+* each **physical link** transfers at most one flit per cycle,
+  round-robin among the virtual channels multiplexed over it;
+* a blocked header waits on *any* of its candidate channels — the
+  escape candidates are always among them, which is what the
+  deadlock-freedom argument (see :mod:`repro.wormhole.verification`)
+  relies on;
+* the destination consumes one flit per worm per cycle.
+
+The engine is generic over :class:`~repro.wormhole.routing.WormholeScheme`.
+Uncontended, a worm of ``L`` flits crossing ``h`` links is delivered in
+``h + L + 1`` cycles (header pipeline + body drain) — the distance
+insensitivity that motivated worm-hole routing, in contrast to the
+packet engine's ``2h + 1`` per-packet store-and-forward cost.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..node.arbitration import rotated
+from ..sim.metrics import LatencyStats
+from .channels import ChannelId, ChannelState
+from .flit import Worm
+from .routing import WormholeScheme
+
+
+class WormholeDeadlockError(RuntimeError):
+    """No flit moved for ``stall_limit`` cycles with worms in flight."""
+
+
+class WormholeSimulator:
+    """Simulates a set of worms through one worm-hole scheme."""
+
+    def __init__(
+        self,
+        scheme: WormholeScheme,
+        channel_depth: int = 2,
+        stall_limit: int = 1000,
+    ):
+        self.scheme = scheme
+        self.topology = scheme.topology
+        self.depth = channel_depth
+        self.stall_limit = stall_limit
+
+        self.channels: dict[ChannelId, ChannelState] = {
+            cid: ChannelState(cid, channel_depth)
+            for cid in scheme.all_channels()
+        }
+        #: per directed link: its channel ids (for link arbitration)
+        self.link_channels: dict[tuple, list[ChannelId]] = {}
+        for cid in self.channels:
+            self.link_channels.setdefault(cid.link, []).append(cid)
+
+        self.cycle = 0
+        self.pending: list[Worm] = []  #: not yet injected (header off-net)
+        self.active: list[Worm] = []  #: header in network, not delivered
+        self.delivered: list[Worm] = []
+        self.latency = LatencyStats()
+        self.head_latency = LatencyStats()
+        self._last_progress = 0
+
+        # Per-worm runtime: the chain of reserved channels and counters.
+        self._chain: dict[int, list[ChannelId]] = {}
+        self._consumed: dict[int, int] = {}
+        self._head_done: dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Worm management
+    # ------------------------------------------------------------------
+    def offer(self, worm: Worm) -> None:
+        """Queue a worm for injection at its source."""
+        worm.state = self.scheme.initial_state(worm.src, worm.dst)
+        self.pending.append(worm)
+
+    def offer_all(self, worms) -> None:
+        for w in worms:
+            self.offer(w)
+
+    # ------------------------------------------------------------------
+    # One cycle
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        self._inject_headers()
+        self._advance_headers()
+        self._consume_flits()
+        self._transfer_flits()
+        self._release_tails()
+        self.cycle += 1
+        in_flight = len(self.active) + len(self.pending)
+        if in_flight and self.cycle - self._last_progress > self.stall_limit:
+            raise WormholeDeadlockError(
+                f"no flit progress for {self.stall_limit} cycles "
+                f"({len(self.active)} worms active, {self.scheme.name})"
+            )
+
+    def _head_node(self, worm: Worm) -> Hashable:
+        chain = self._chain[worm.uid]
+        return chain[-1].v if chain else worm.src
+
+    def _inject_headers(self) -> None:
+        """Headers of pending worms try to enter the network."""
+        still_pending = []
+        # One worm may inject per source per cycle; serve in order.
+        injecting_sources: set[Hashable] = set()
+        for worm in self.pending:
+            if worm.src in injecting_sources:
+                still_pending.append(worm)
+                continue
+            if worm.src == worm.dst:
+                continue  # degenerate; drop silently
+            cand = self.scheme.candidates(worm.src, worm.dst, worm.state)
+            got = None
+            for cid in cand:
+                ch = self.channels[cid]
+                if ch.free:
+                    got = cid
+                    break
+            if got is None:
+                still_pending.append(worm)
+                continue
+            injecting_sources.add(worm.src)
+            worm.injected_cycle = self.cycle
+            worm.state = self.scheme.update_state(worm.state, got)
+            ch = self.channels[got]
+            ch.reserve(worm)
+            ch.accept_flit()  # the header flit crosses the first link
+            worm.flits_to_inject -= 1
+            self._chain[worm.uid] = [got]
+            self._consumed[worm.uid] = 0
+            self._head_done[worm.uid] = False
+            self.active.append(worm)
+            self._last_progress = self.cycle
+        self.pending = still_pending
+
+    def _advance_headers(self) -> None:
+        """Headers at intermediate nodes reserve their next channel."""
+        for worm in self.active:
+            if self._head_done[worm.uid]:
+                continue
+            chain = self._chain[worm.uid]
+            head_ch = self.channels[chain[-1]]
+            # The header is the last flit to have entered the chain end;
+            # it is present iff that channel has buffered flits and no
+            # further channel is reserved yet.
+            if head_ch.flits == 0:
+                continue
+            u = chain[-1].v
+            if u == worm.dst:
+                self._head_done[worm.uid] = True
+                worm.head_arrived_cycle = self.cycle
+                continue
+            for cid in self.scheme.candidates(u, worm.dst, worm.state):
+                ch = self.channels[cid]
+                if ch.free:
+                    ch.reserve(worm)
+                    worm.state = self.scheme.update_state(worm.state, cid)
+                    chain.append(cid)
+                    self._last_progress = self.cycle
+                    break
+
+    def _consume_flits(self) -> None:
+        """The destination sinks one flit per worm per cycle."""
+        finished = []
+        for worm in self.active:
+            if not self._head_done[worm.uid]:
+                continue
+            chain = self._chain[worm.uid]
+            last = self.channels[chain[-1]]
+            if last.flits > 0:
+                last.emit_flit()
+                self._consumed[worm.uid] += 1
+                worm.flits_delivered += 1
+                self._last_progress = self.cycle
+                if self._consumed[worm.uid] == worm.length:
+                    worm.delivered_cycle = self.cycle
+                    finished.append(worm)
+        for worm in finished:
+            self.active.remove(worm)
+            self.delivered.append(worm)
+            self.latency.record(worm.latency)
+            self.head_latency.record(worm.head_latency)
+            for cid in self._chain.pop(worm.uid):
+                ch = self.channels[cid]
+                if ch.owner is worm:
+                    ch.release()
+
+    def _transfer_flits(self) -> None:
+        """One flit per physical link per cycle, round-robin over VCs.
+
+        A transfer moves a flit from the worm's previous chain element
+        (or the source network interface) into the channel, based on
+        start-of-cycle occupancies.
+        """
+        snapshots = {cid: ch.flits for cid, ch in self.channels.items()}
+        for link, cids in self.link_channels.items():
+            order = rotated(cids, self.cycle) if len(cids) > 1 else cids
+            for cid in order:
+                ch = self.channels[cid]
+                worm = ch.owner
+                if worm is None or snapshots[cid] >= self.depth:
+                    continue
+                chain = self._chain.get(worm.uid)
+                if not chain:
+                    continue
+                idx = chain.index(cid)
+                if idx == 0:
+                    # Feed from the source network interface.
+                    if worm.flits_to_inject <= 0:
+                        continue
+                    worm.flits_to_inject -= 1
+                    ch.accept_flit()
+                else:
+                    prev = self.channels[chain[idx - 1]]
+                    if snapshots[chain[idx - 1]] <= 0:
+                        continue
+                    prev.emit_flit()
+                    ch.accept_flit()
+                self._last_progress = self.cycle
+                break  # one flit per physical link per cycle
+
+    def _release_tails(self) -> None:
+        """Channels fully passed by their worm's tail are released."""
+        for worm in self.active:
+            chain = self._chain[worm.uid]
+            keep = []
+            for i, cid in enumerate(chain):
+                ch = self.channels[cid]
+                if (
+                    i < len(chain) - 1
+                    and ch.flits == 0
+                    and ch.exited >= worm.length
+                ):
+                    ch.release()
+                else:
+                    keep.append(cid)
+            self._chain[worm.uid] = keep
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 1_000_000) -> "WormholeSimulator":
+        """Step until every offered worm is delivered."""
+        while (self.pending or self.active) and self.cycle < max_cycles:
+            self.step()
+        if self.pending or self.active:
+            raise RuntimeError(
+                f"wormhole run exceeded {max_cycles} cycles with "
+                f"{len(self.pending) + len(self.active)} worms in flight"
+            )
+        return self

@@ -1,0 +1,83 @@
+"""Flits and worms.
+
+In worm-hole routing a packet is a *worm* of flits: one header flit
+that performs routing decisions, body flits that follow the header's
+path pipeline-style, and a tail flit that releases the channels the
+worm occupied.  Only the header carries routing information; body and
+tail flits inherit the reserved channel chain.
+
+The companion papers of this work ([GPS91], cited in Section 1 and at
+the end of Section 4) extend the dynamic-link methodology to worm-hole
+routing; :mod:`repro.wormhole` reproduces that extension with
+escape-channel schemes on the hypercube and the 2-D torus.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Hashable
+
+_worm_counter = itertools.count()
+
+
+class FlitKind(Enum):
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+
+
+@dataclass(eq=False)
+class Worm:
+    """One worm-hole packet.
+
+    ``length`` counts flits including header and tail (``length >= 1``;
+    a single-flit worm's header doubles as its tail).
+    """
+
+    src: Hashable
+    dst: Hashable
+    length: int
+    uid: int = field(default_factory=lambda: next(_worm_counter))
+    injected_cycle: int = -1
+    delivered_cycle: int = -1  #: cycle the TAIL reached the destination
+    head_arrived_cycle: int = -1  #: cycle the HEAD reached the destination
+    state: Any = None  #: routing state (phase etc.), owned by the scheme
+
+    #: Flits not yet offered to the network (still at the source NI).
+    flits_to_inject: int = 0
+    #: Flits already consumed at the destination.
+    flits_delivered: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("worm length must be >= 1")
+        self.flits_to_inject = self.length
+
+    @property
+    def delivered(self) -> bool:
+        return self.delivered_cycle >= 0
+
+    @property
+    def latency(self) -> int:
+        """Tail-delivery latency in cycles."""
+        if not self.delivered or self.injected_cycle < 0:
+            raise ValueError("worm not delivered yet")
+        return self.delivered_cycle - self.injected_cycle
+
+    @property
+    def head_latency(self) -> int:
+        """Header-arrival latency in cycles."""
+        if self.head_arrived_cycle < 0 or self.injected_cycle < 0:
+            raise ValueError("head not arrived yet")
+        return self.head_arrived_cycle - self.injected_cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Worm(#{self.uid} {self.src}->{self.dst} x{self.length})"
+
+
+def reset_worm_ids() -> None:
+    """Restart the worm id counter (test isolation helper)."""
+    global _worm_counter
+    _worm_counter = itertools.count()

@@ -1,0 +1,283 @@
+"""Worm-hole routing schemes with escape channels.
+
+The dynamic-link methodology carries over to worm-hole routing (the
+paper, Section 1 and end of Section 4, pointing to [GPS91]): keep an
+*escape* sub-network of virtual channels whose channel dependency
+graph is acyclic and always offers a route to the destination, and add
+freely usable *adaptive* channels on top.  A blocked header may wait
+on any candidate, and because the escape candidates are always among
+them, the escape network drains any potential cycle — the channel-level
+analogue of Section 2's conditions (this is the argument later
+formalised by Duato, which [GPS91] anticipates for tori/hypercubes).
+
+Schemes provided:
+
+* :class:`HypercubeEcubeWormhole` — dimension-order, one VC per link
+  (the [DS86a] baseline; its CDG is acyclic outright);
+* :class:`HypercubeAdaptiveWormhole` — fully-adaptive minimal; escape
+  VCs implement the paper's hung two-phase scheme (class ``eA`` on
+  down-links, ``eB`` on up-links), one adaptive VC everywhere;
+* :class:`TorusDimensionOrderWormhole` — dimension order with two
+  dateline VCs per link ([DS86b] torus routing chip discipline);
+* :class:`TorusAdaptiveWormhole` — fully-adaptive minimal; the same
+  dateline escape discipline plus one adaptive VC per link.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Hashable
+
+from ..topology.hypercube import Hypercube
+from ..topology.torus import Torus
+from .channels import ChannelId
+
+#: Class label of the adaptive (fully-permissive) virtual channel.
+ADAPTIVE = "adp"
+
+
+class WormholeScheme(ABC):
+    """A worm-hole routing function over virtual channels."""
+
+    name: str = "wormhole"
+    is_minimal: bool = True
+    is_fully_adaptive: bool = False
+
+    def __init__(self, topology):
+        self.topology = topology
+
+    @abstractmethod
+    def channel_classes(self, u: Hashable, v: Hashable) -> tuple[str, ...]:
+        """VC classes on directed link ``u -> v``."""
+
+    def initial_state(self, src: Hashable, dst: Hashable) -> Any:
+        return None
+
+    def update_state(self, state: Any, channel: ChannelId) -> Any:
+        """New routing state after the header takes ``channel``."""
+        return state
+
+    @abstractmethod
+    def escape_channels(
+        self, u: Hashable, dst: Hashable, state: Any
+    ) -> list[ChannelId]:
+        """Escape candidates at ``u`` (non-empty unless ``u == dst``)."""
+
+    def adaptive_channels(
+        self, u: Hashable, dst: Hashable, state: Any
+    ) -> list[ChannelId]:
+        """Freely usable candidates (default: none — oblivious)."""
+        return []
+
+    def candidates(
+        self, u: Hashable, dst: Hashable, state: Any
+    ) -> list[ChannelId]:
+        """All candidates, adaptive first (preferred), escape last."""
+        esc = self.escape_channels(u, dst, state)
+        adp = [
+            c for c in self.adaptive_channels(u, dst, state) if c not in esc
+        ]
+        return adp + esc
+
+    def all_channels(self):
+        for u in self.topology.nodes():
+            for v in self.topology.neighbors(u):
+                for vc in self.channel_classes(u, v):
+                    yield ChannelId(u, v, vc)
+
+
+# ----------------------------------------------------------------------
+# Hypercube
+# ----------------------------------------------------------------------
+class HypercubeEcubeWormhole(WormholeScheme):
+    """Dimension-order worm-hole routing, one VC per link ([DS86a]).
+
+    Correcting dimensions in ascending order orders the channels by
+    dimension, so the CDG is acyclic without any VC splitting.
+    """
+
+    name = "wh-hypercube-ecube"
+    is_fully_adaptive = False
+
+    def __init__(self, topology: Hypercube):
+        if not isinstance(topology, Hypercube):
+            raise TypeError("requires a Hypercube topology")
+        super().__init__(topology)
+        self.n = topology.n
+
+    def channel_classes(self, u: int, v: int) -> tuple[str, ...]:
+        return ("e",)
+
+    def escape_channels(self, u: int, dst: int, state: Any) -> list[ChannelId]:
+        diff = u ^ dst
+        if not diff:
+            return []
+        low = diff & -diff
+        return [ChannelId(u, u ^ low, "e")]
+
+
+class HypercubeAdaptiveWormhole(WormholeScheme):
+    """Fully-adaptive minimal worm-hole routing on the hypercube.
+
+    One adaptive channel per link direction permits every minimal hop
+    at any time — the worm-hole analogue of the dynamic links — while
+    the **escape** channel implements dimension-order routing.  On
+    minimal routes a corrected dimension never becomes incorrect
+    again, so every escape request concerns a strictly higher
+    dimension than any escape channel already held: the extended
+    escape CDG is acyclic (machine-checked).
+
+    Why not the packet scheme's hung two-phase escape?  Worm-hole
+    indirect dependencies break it: a worm can hold a phase-A (0 -> 1)
+    escape channel at a deep level, descend via adaptive 1 -> 0 hops,
+    and request a phase-A escape channel at a shallower level — a
+    backward edge that closes a cycle.  The deliberately-faithful
+    transcription is kept as :class:`HungEscapeHypercubeWormhole` and
+    our verifier exhibits the cycle
+    (``tests/test_wormhole_verification.py``); this is exactly why the
+    worm-hole generalisation is non-trivial and deferred to [GPS91].
+    """
+
+    name = "wh-hypercube-adaptive"
+    is_fully_adaptive = True
+
+    def __init__(self, topology: Hypercube):
+        if not isinstance(topology, Hypercube):
+            raise TypeError("requires a Hypercube topology")
+        super().__init__(topology)
+        self.n = topology.n
+
+    def channel_classes(self, u: int, v: int) -> tuple[str, ...]:
+        return ("e", ADAPTIVE)
+
+    @staticmethod
+    def _dims(mask: int):
+        while mask:
+            low = mask & -mask
+            yield low.bit_length() - 1
+            mask ^= low
+
+    def escape_channels(self, u: int, dst: int, state: Any) -> list[ChannelId]:
+        diff = u ^ dst
+        if not diff:
+            return []
+        low = diff & -diff
+        return [ChannelId(u, u ^ low, "e")]
+
+    def adaptive_channels(
+        self, u: int, dst: int, state: Any
+    ) -> list[ChannelId]:
+        diff = u ^ dst
+        return [
+            ChannelId(u, u ^ (1 << i), ADAPTIVE) for i in self._dims(diff)
+        ]
+
+
+class HungEscapeHypercubeWormhole(HypercubeAdaptiveWormhole):
+    """Negative example: the packet scheme's hung escape, verbatim.
+
+    Class ``eA`` escape channels on down-links (0 -> 1 corrections),
+    ``eB`` on up-links (1 -> 0), adaptive channels everywhere.  Safe
+    for *packet* routing (Theorem 1), but NOT for worm-hole routing:
+    the extended escape CDG has cycles through adaptive detours.  Kept
+    so the verifier's counterexample stays reproducible.
+    """
+
+    name = "wh-hypercube-hung-escape"
+
+    def channel_classes(self, u: int, v: int) -> tuple[str, ...]:
+        dim = self.topology.link_index(u, v)
+        if (u >> dim) & 1 == 0:
+            return ("eA", ADAPTIVE)  # down-link: 0 -> 1 escape traffic
+        return ("eB", ADAPTIVE)  # up-link: 1 -> 0 escape traffic
+
+    def escape_channels(self, u: int, dst: int, state: Any) -> list[ChannelId]:
+        mask = self.topology._mask
+        zeros = ~u & dst & mask
+        if zeros:
+            return [
+                ChannelId(u, u ^ (1 << i), "eA") for i in self._dims(zeros)
+            ]
+        ones = u & ~dst & mask
+        return [ChannelId(u, u ^ (1 << i), "eB") for i in self._dims(ones)]
+
+
+# ----------------------------------------------------------------------
+# Torus
+# ----------------------------------------------------------------------
+class TorusDimensionOrderWormhole(WormholeScheme):
+    """Dimension-order torus worm-hole routing with dateline VCs.
+
+    Within each ring, worms start on VC class ``e1`` and switch to
+    ``e0`` after crossing the ring's dateline (the [DS86b] torus
+    routing chip discipline); dimensions are served in ascending
+    order.  Worm state tracks which rings have been crossed.
+    """
+
+    name = "wh-torus-dimension-order"
+    is_fully_adaptive = False
+
+    def __init__(self, topology: Torus):
+        if not isinstance(topology, Torus):
+            raise TypeError("requires a Torus topology")
+        super().__init__(topology)
+        self.k = topology.k
+
+    def channel_classes(self, u, v) -> tuple[str, ...]:
+        return ("e0", "e1")
+
+    def initial_state(self, src, dst) -> tuple[bool, ...]:
+        return tuple(False for _ in range(self.k))
+
+    def update_state(self, state, channel: ChannelId):
+        # Dateline crossings count on every channel class: adaptive
+        # hops too must demote later escape traffic to class e0.
+        topo: Torus = self.topology
+        u, v = channel.u, channel.v
+        for i in range(self.k):
+            if u[i] != v[i]:
+                delta = +1 if (u[i] + 1) % topo.shape[i] == v[i] else -1
+                if topo.crosses_dateline(u, i, delta):
+                    return state[:i] + (True,) + state[i + 1 :]
+                return state
+        return state
+
+    def _ring_escape(self, u, dst, state, dim: int) -> ChannelId:
+        topo: Torus = self.topology
+        delta = topo.minimal_directions(u[dim], dst[dim], dim)[0]
+        v = topo.step(u, dim, delta)
+        crossed = state[dim] or topo.crosses_dateline(u, dim, delta)
+        return ChannelId(u, v, "e0" if crossed else "e1")
+
+    def escape_channels(self, u, dst, state) -> list[ChannelId]:
+        for i in range(self.k):
+            if u[i] != dst[i]:
+                return [self._ring_escape(u, dst, state, i)]
+        return []
+
+
+class TorusAdaptiveWormhole(TorusDimensionOrderWormhole):
+    """Fully-adaptive minimal torus worm-hole routing ([GPS91]-style).
+
+    The dimension-order dateline discipline is kept as the escape
+    network; one adaptive VC per link direction allows any minimal hop
+    at any time.  3 VCs per link direction in total — fewer than the
+    [LH91] scheme the paper compares against, which is exactly the
+    resource claim made at the end of Section 1.
+    """
+
+    name = "wh-torus-adaptive"
+    is_fully_adaptive = True
+
+    def channel_classes(self, u, v) -> tuple[str, ...]:
+        return ("e0", "e1", ADAPTIVE)
+
+    def adaptive_channels(self, u, dst, state) -> list[ChannelId]:
+        topo: Torus = self.topology
+        out = []
+        for i in range(self.k):
+            if u[i] == dst[i]:
+                continue
+            for delta in topo.minimal_directions(u[i], dst[i], i):
+                out.append(ChannelId(u, topo.step(u, i, delta), ADAPTIVE))
+        return out

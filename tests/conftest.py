@@ -1,0 +1,75 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing import (
+    HypercubeAdaptiveRouting,
+    HypercubeHungRouting,
+    HypercubeObliviousRouting,
+    Mesh2DAdaptiveRouting,
+    Mesh2DRestrictedRouting,
+    ShuffleExchangeRouting,
+    StructuredBufferPoolRouting,
+    TorusRouting,
+)
+from repro.topology import Hypercube, Mesh2D, ShuffleExchange, Torus
+
+
+@pytest.fixture
+def cube3() -> Hypercube:
+    return Hypercube(3)
+
+
+@pytest.fixture
+def cube4() -> Hypercube:
+    return Hypercube(4)
+
+
+@pytest.fixture
+def mesh3() -> Mesh2D:
+    return Mesh2D(3)
+
+
+@pytest.fixture
+def mesh4() -> Mesh2D:
+    return Mesh2D(4)
+
+
+@pytest.fixture
+def torus3() -> Torus:
+    return Torus((3, 3))
+
+
+@pytest.fixture
+def se3() -> ShuffleExchange:
+    return ShuffleExchange(3)
+
+
+@pytest.fixture
+def cube_adaptive(cube3) -> HypercubeAdaptiveRouting:
+    return HypercubeAdaptiveRouting(cube3)
+
+
+@pytest.fixture
+def mesh_adaptive(mesh3) -> Mesh2DAdaptiveRouting:
+    return Mesh2DAdaptiveRouting(mesh3)
+
+
+def small_algorithm_zoo():
+    """Every algorithm on a small instance (module-level for parametrize)."""
+    return [
+        HypercubeAdaptiveRouting(Hypercube(3)),
+        HypercubeHungRouting(Hypercube(3)),
+        HypercubeObliviousRouting(Hypercube(3)),
+        Mesh2DAdaptiveRouting(Mesh2D(3)),
+        Mesh2DRestrictedRouting(Mesh2D(3)),
+        TorusRouting(Torus((3, 3))),
+        ShuffleExchangeRouting(ShuffleExchange(3)),
+        StructuredBufferPoolRouting(Hypercube(3)),
+    ]
+
+
+def zoo_ids():
+    return [a.name for a in small_algorithm_zoo()]

@@ -1,0 +1,163 @@
+"""Tests for table rendering, figures, and occupancy analysis."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis import (
+    ALL_FIGURES,
+    PaperTable,
+    TableRow,
+    figure1_hypercube_qdg,
+    figure2_mesh_qdg,
+    figure3_shuffle_qdg,
+    figure4_hypercube_node,
+    figure5_mesh_node,
+    figure6_shuffle_node,
+    format_rows,
+    occupancy_by_level,
+    peak_occupancy_by_level,
+    top_congested_nodes,
+)
+from repro.routing import HypercubeHungRouting
+from repro.sim import DynamicInjection, PacketSimulator, RandomTraffic, make_rng
+from repro.topology import Hypercube
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+def test_paper_table_render_static():
+    t = PaperTable(title="T", dynamic=False)
+    t.rows.append(TableRow(n=4, N=16, l_avg=9.0, l_max=9))
+    out = t.render()
+    assert "L_avg" in out and "9.00" in out
+    assert "I_r" not in out
+
+
+def test_paper_table_render_dynamic_with_reference():
+    t = PaperTable(
+        title="T",
+        dynamic=True,
+        reference=[TableRow(n=4, N=16, l_avg=10.0, l_max=12, i_r=90.0)],
+    )
+    t.rows.append(TableRow(n=4, N=16, l_avg=9.5, l_max=11, i_r=95.0))
+    out = t.render()
+    assert "paper L_avg" in out
+    assert "95" in out and "90" in out
+
+
+def test_format_rows():
+    out = format_rows([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+    assert "a" in out and "22" in out
+
+
+def test_format_rows_empty():
+    assert "no rows" in format_rows([])
+
+
+# ----------------------------------------------------------------------
+# Figures
+# ----------------------------------------------------------------------
+def test_figure1_structure():
+    f = figure1_hypercube_qdg(3)
+    assert f.stats["queues"] == 32
+    assert f.stats["dynamic_edges"] > 0
+    assert not nx.is_directed_acyclic_graph(f.graph)  # extended QDG cyclic
+    assert "digraph" in f.dot
+    assert "style=dashed" in f.dot  # dynamic links rendered dashed
+    assert "Figure 1" in f.text
+
+
+def test_figure1_hides_inject_deliver_in_dot():
+    f = figure1_hypercube_qdg(3)
+    assert "inj@" not in f.dot
+    assert "del@" not in f.dot
+
+
+def test_figure2_structure():
+    f = figure2_mesh_qdg(3)
+    assert f.stats["queues"] == 9 * 4
+    assert f.stats["dynamic_edges"] > 0
+
+
+def test_figure3_structure():
+    f = figure3_shuffle_qdg(3)
+    # 8 nodes x (inj + 4 central + del).
+    assert f.stats["queues"] == 8 * 6
+    assert f.stats["dynamic_edges"] > 0
+
+
+def test_figure4_node_stats():
+    f = figure4_hypercube_node()
+    assert f.stats["central_queues"] == 2
+    assert f.stats["out_links"] == 4
+    assert "0101" in f.text
+
+
+def test_figure5_and_6():
+    f5 = figure5_mesh_node()
+    assert f5.stats["central_queues"] == 2
+    f6 = figure6_shuffle_node()
+    assert f6.stats["central_queues"] == 4
+
+
+def test_all_figures_registry():
+    assert set(ALL_FIGURES) == {f"figure{i}" for i in range(1, 7)}
+    for fn in ALL_FIGURES.values():
+        bundle = fn()
+        assert bundle.dot and bundle.text
+
+
+# ----------------------------------------------------------------------
+# Occupancy
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def hung_result():
+    cube = Hypercube(4)
+    alg = HypercubeHungRouting(cube)
+    inj = DynamicInjection(
+        1.0, RandomTraffic(cube), make_rng(0), duration=150, warmup=30
+    )
+    sim = PacketSimulator(alg, inj, collect_occupancy=True)
+    return sim.run(), cube
+
+
+def test_occupancy_by_level(hung_result):
+    res, cube = hung_result
+    by_level = occupancy_by_level(res, cube, kind="A")
+    assert set(by_level) <= set(range(cube.n + 1))
+    assert all(v >= 0 for v in by_level.values())
+
+
+def test_hung_congestion_grows_toward_all_ones(hung_result):
+    """The paper's motivation: without dynamic links, phase-A traffic
+    piles up near 1...1 — qA occupancy grows with the level."""
+    res, cube = hung_result
+    by_level = occupancy_by_level(res, cube, kind="A")
+    low = by_level[1]
+    high = by_level[cube.n - 1]
+    assert high > low
+
+
+def test_peak_occupancy(hung_result):
+    res, cube = hung_result
+    peaks = peak_occupancy_by_level(res, cube)
+    assert max(peaks.values()) <= 5
+
+
+def test_top_congested(hung_result):
+    res, cube = hung_result
+    top = top_congested_nodes(res, top=3)
+    assert len(top) == 3
+    assert top[0][2] >= top[1][2] >= top[2][2]
+
+
+def test_occupancy_requires_collection():
+    cube = Hypercube(3)
+    from repro.sim import StaticInjection, ComplementTraffic
+
+    alg = HypercubeHungRouting(cube)
+    inj = StaticInjection(1, ComplementTraffic(cube), make_rng(0))
+    res = PacketSimulator(alg, inj).run(max_cycles=1000)
+    with pytest.raises(ValueError):
+        occupancy_by_level(res, cube)

@@ -1,0 +1,68 @@
+"""Tests for load sweeps and saturation analysis."""
+
+import pytest
+
+from repro.analysis import LoadPoint, knee_load, load_sweep, saturation_throughput
+from repro.routing import HypercubeAdaptiveRouting
+from repro.sim import RandomTraffic, hypercube_pattern, make_rng
+from repro.topology import Hypercube
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    cube = Hypercube(4)
+    return load_sweep(
+        lambda: HypercubeAdaptiveRouting(cube),
+        lambda: RandomTraffic(cube),
+        rates=(0.1, 0.5, 1.0),
+        duration=150,
+        warmup=50,
+        seed=3,
+    )
+
+
+def test_sweep_shape(sweep):
+    assert [p.offered for p in sweep] == [0.1, 0.5, 1.0]
+    for p in sweep:
+        assert 0 <= p.accepted <= p.offered + 1e-9
+        assert p.l_avg >= 3.0  # latency law floor
+
+
+def test_latency_monotone_in_load(sweep):
+    assert sweep[0].l_avg <= sweep[-1].l_avg + 0.5
+
+
+def test_saturation_throughput(sweep):
+    assert saturation_throughput(sweep) == max(p.accepted for p in sweep)
+
+
+def test_knee_load():
+    pts = [
+        LoadPoint(0.1, 0.1, 5.0, 8, 10),
+        LoadPoint(0.5, 0.5, 7.0, 12, 50),
+        LoadPoint(1.0, 0.8, 15.0, 40, 80),
+    ]
+    assert knee_load(pts, factor=2.0) == 1.0
+    assert knee_load(pts, factor=1.2) == 0.5
+    with pytest.raises(ValueError):
+        knee_load([])
+
+
+def test_point_row():
+    p = LoadPoint(0.5, 0.45, 7.123, 12, 50)
+    row = p.row()
+    assert row["lambda"] == 0.5 and row["L_avg"] == 7.12
+
+
+def test_sweep_deterministic():
+    cube = Hypercube(3)
+    mk = lambda: load_sweep(
+        lambda: HypercubeAdaptiveRouting(cube),
+        lambda: hypercube_pattern("complement", cube, make_rng(0)),
+        rates=(0.5,),
+        duration=100,
+        warmup=20,
+        seed=5,
+    )
+    a, b = mk(), mk()
+    assert a[0].l_avg == b[0].l_avg

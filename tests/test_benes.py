@@ -1,0 +1,168 @@
+"""Tests for the Beneš network topology and leveled routing."""
+
+import pytest
+
+from repro.core import (
+    minimal_node_paths,
+    realizable_node_paths,
+    verify_algorithm,
+)
+from repro.routing import (
+    BenesAdaptiveRouting,
+    BenesObliviousRouting,
+    BenesTraffic,
+)
+from repro.sim import PacketSimulator, StaticInjection, make_rng
+from repro.topology import BenesNetwork
+
+
+# ----------------------------------------------------------------------
+# Topology
+# ----------------------------------------------------------------------
+def test_structure():
+    b = BenesNetwork(3)
+    assert b.num_nodes == 7 * 8
+    assert b.diameter == 6
+    assert len(b.inputs()) == 8 and len(b.outputs()) == 8
+    b.validate()
+
+
+def test_rejects_n_zero():
+    with pytest.raises(ValueError):
+        BenesNetwork(0)
+
+
+def test_stage_bits_mirror():
+    b = BenesNetwork(3)
+    assert [b.stage_bit(l) for l in range(6)] == [2, 1, 0, 0, 1, 2]
+    with pytest.raises(ValueError):
+        b.stage_bit(6)
+
+
+def test_neighbors_forward_only():
+    b = BenesNetwork(2)
+    assert set(b.neighbors((0, 0))) == {(1, 0), (1, 2)}  # stage 0 flips bit 1
+    assert b.neighbors((4, 0)) == ()  # outputs are sinks
+    assert b.in_neighbors((0, 0)) == ()
+
+
+def test_distance_and_reachability():
+    b = BenesNetwork(2)
+    assert b.distance((0, 0), (4, 3)) == 4
+    assert b.distance((1, 0), (2, 0)) == 1
+    with pytest.raises(ValueError):
+        b.distance((2, 0), (1, 0))  # backward
+    with pytest.raises(ValueError):
+        # From level 3 only bit 1 can still change: row 0 -> row 1 at
+        # the output is unreachable.
+        b.distance((3, 0), (4, 1))
+
+
+def test_every_output_reachable_from_every_input():
+    b = BenesNetwork(3)
+    for r in range(b.rows):
+        for r2 in range(b.rows):
+            assert b.distance((0, r), (2 * b.n, r2)) == 2 * b.n
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+def test_requires_benes():
+    from repro.topology import Hypercube
+
+    with pytest.raises(TypeError):
+        BenesAdaptiveRouting(Hypercube(3))
+
+
+def test_single_central_queue():
+    alg = BenesAdaptiveRouting(BenesNetwork(2))
+    assert alg.central_queue_kinds((0, 0)) == ("Q",)
+
+
+def test_path_richness_2_to_the_n():
+    b = BenesNetwork(3)
+    alg = BenesAdaptiveRouting(b)
+    paths = realizable_node_paths(alg, (0, 5), (6, 2))
+    assert len(paths) == 2**3
+    assert paths == minimal_node_paths(b, (0, 5), (6, 2))
+
+
+def test_oblivious_single_path():
+    alg = BenesObliviousRouting(BenesNetwork(2))
+    assert len(realizable_node_paths(alg, (0, 1), (4, 2))) == 1
+
+
+def test_verification_input_output():
+    b = BenesNetwork(2)
+    alg = BenesAdaptiveRouting(b)
+    report = verify_algorithm(
+        alg, sources=b.inputs(), destinations=b.outputs()
+    )
+    assert report.ok, report.errors
+    assert report.fully_adaptive and report.minimal
+
+
+def test_injection_rejects_non_terminals():
+    alg = BenesAdaptiveRouting(BenesNetwork(2))
+    with pytest.raises(ValueError):
+        alg.injection_targets((1, 0), (4, 0))
+    with pytest.raises(ValueError):
+        alg.injection_targets((0, 0), (2, 0))
+
+
+def test_forced_half_fixes_bits():
+    b = BenesNetwork(2)
+    alg = BenesAdaptiveRouting(b)
+    # At level 2 (start of the forced half), stage fixes bit 0.
+    hops = alg.static_hops(
+        __import__("repro.core", fromlist=["QueueId"]).QueueId((2, 0), "Q"),
+        (4, 3),
+    )
+    assert {q.node for q in hops} == {(3, 1)}
+
+
+# ----------------------------------------------------------------------
+# Traffic + simulation
+# ----------------------------------------------------------------------
+def test_traffic_only_inputs_inject():
+    b = BenesNetwork(2)
+    t = BenesTraffic(b)
+    rng = make_rng(0)
+    assert t.draw((1, 0), rng) == (1, 0)  # silent
+    dst = t.draw((0, 0), rng)
+    assert dst[0] == 4
+
+
+def test_permutation_traffic_needs_rng():
+    with pytest.raises(ValueError):
+        BenesTraffic(BenesNetwork(2), permutation=True)
+
+
+def test_permutation_traffic_bijective():
+    b = BenesNetwork(3)
+    t = BenesTraffic(b, make_rng(1), permutation=True)
+    targets = [t.mapping[(0, r)] for r in range(8)]
+    assert len(set(targets)) == 8
+
+
+def test_simulation_delivers_all():
+    b = BenesNetwork(3)
+    alg = BenesAdaptiveRouting(b)
+    inj = StaticInjection(3, BenesTraffic(b), make_rng(2))
+    res = PacketSimulator(alg, inj).run(max_cycles=50_000)
+    assert res.delivered == res.injected == 3 * b.rows
+    # Leveled latency law: 2 * 2n + 1 minimum per packet.
+    assert res.latency.minimum >= 2 * (2 * b.n) + 1
+
+
+def test_saturation_no_deadlock():
+    from repro.sim import DynamicInjection
+
+    b = BenesNetwork(3)
+    alg = BenesAdaptiveRouting(b)
+    inj = DynamicInjection(
+        1.0, BenesTraffic(b), make_rng(3), duration=200, warmup=50
+    )
+    res = PacketSimulator(alg, inj, central_capacity=1, stall_limit=300).run()
+    assert res.delivered > 0

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _build_algorithm, _parse_ns, build_parser, main
+
+
+def test_parse_ns():
+    assert _parse_ns("6,8") == (6, 8)
+    assert _parse_ns("6 8") == (6, 8)
+    assert _parse_ns(None) is None
+    assert _parse_ns("") is None
+
+
+def test_build_algorithm_variants():
+    assert _build_algorithm("hypercube-adaptive", "3").topology.n == 3
+    assert _build_algorithm("mesh-adaptive", "3x3").topology.rows == 3
+    assert _build_algorithm("torus", "3x4").topology.shape == (3, 4)
+    assert _build_algorithm("shuffle-exchange", "3").topology.n == 3
+    assert _build_algorithm("buffer-pool", "3").levels == 4
+    with pytest.raises(SystemExit):
+        _build_algorithm("nope", "3")
+
+
+def test_cli_table(capsys):
+    assert main(["table", "2", "--ns", "3,4"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out and "7.00" in out and "9.00" in out
+
+
+def test_cli_table_without_reference(capsys):
+    main(["table", "2", "--ns", "3", "--no-reference"])
+    out = capsys.readouterr().out
+    assert "paper" not in out
+
+
+def test_cli_figure_text(capsys):
+    assert main(["figure", "4"]) == 0
+    assert "0101" in capsys.readouterr().out
+
+
+def test_cli_figure_dot(capsys):
+    assert main(["figure", "1", "--dot"]) == 0
+    assert "digraph" in capsys.readouterr().out
+
+
+def test_cli_verify_ok(capsys):
+    assert main(["verify", "hypercube-adaptive", "3"]) == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_cli_verify_fast(capsys):
+    assert main(["verify", "torus", "3x3", "--fast"]) == 0
+
+
+def test_cli_sweep(capsys):
+    assert main(["sweep", "--n", "4", "--rates", "0.2,1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "lambda" in out and "L_avg" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_cli_report_to_file(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_NS", "3")
+    out = tmp_path / "report.md"
+    assert main(["report", "--no-figures", "-o", str(out), "--seed", "1"]) == 0
+    text = out.read_text()
+    assert "# Reproduction report" in text
+    assert "Table 2" in text and "Other topologies" in text
+    assert "written" in capsys.readouterr().out

@@ -1,0 +1,103 @@
+"""Unit tests for path enumeration and adaptivity analysis."""
+
+from math import comb, factorial
+
+from repro.core import (
+    adaptivity_ratio,
+    is_fully_adaptive_for_pair,
+    is_minimal_for_pair,
+    minimal_node_paths,
+    realizable_node_paths,
+)
+from repro.routing import (
+    HypercubeAdaptiveRouting,
+    HypercubeHungRouting,
+    HypercubeObliviousRouting,
+    Mesh2DAdaptiveRouting,
+    Mesh2DRestrictedRouting,
+)
+from repro.topology import Hypercube, Mesh2D
+
+
+def test_minimal_path_count_hypercube(cube4):
+    """Between nodes at distance d there are d! minimal paths."""
+    for src, dst in [(0b0000, 0b0011), (0b0000, 0b0111), (0b0101, 0b1010)]:
+        d = cube4.distance(src, dst)
+        assert len(minimal_node_paths(cube4, src, dst)) == factorial(d)
+
+
+def test_minimal_path_count_mesh(mesh4):
+    """(dx+dy choose dx) monotone staircase paths."""
+    src, dst = (0, 0), (2, 3)
+    assert len(minimal_node_paths(mesh4, src, dst)) == comb(5, 2)
+
+
+def test_trivial_pair():
+    cube = Hypercube(3)
+    assert minimal_node_paths(cube, 5, 5) == {(5,)}
+
+
+def test_adaptive_hypercube_realizes_all_minimal_paths(cube3):
+    alg = HypercubeAdaptiveRouting(cube3)
+    for src in cube3.nodes():
+        for dst in cube3.nodes():
+            if src != dst:
+                assert is_fully_adaptive_for_pair(alg, src, dst)
+                assert is_minimal_for_pair(alg, src, dst)
+
+
+def test_hung_hypercube_is_partially_adaptive(cube3):
+    """The static scheme realizes fewer paths on mixed corrections."""
+    alg = HypercubeHungRouting(cube3)
+    # 001 -> 110: one 0->1 pair and corrections 1->0; order is forced
+    # across the phase boundary, so not all 3! = 6 orders realizable.
+    src, dst = 0b001, 0b110
+    realizable = realizable_node_paths(alg, src, dst)
+    minimal = minimal_node_paths(cube3, src, dst)
+    assert realizable < minimal
+    assert is_minimal_for_pair(alg, src, dst)
+
+
+def test_oblivious_hypercube_single_path(cube3):
+    alg = HypercubeObliviousRouting(cube3)
+    for src in cube3.nodes():
+        for dst in cube3.nodes():
+            if src != dst:
+                assert len(realizable_node_paths(alg, src, dst)) == 1
+
+
+def test_adaptivity_ratio_ordering(cube3):
+    """adaptive = 1.0 >= hung >= oblivious for a mixed pair."""
+    src, dst = 0b001, 0b110
+    r_adapt = adaptivity_ratio(HypercubeAdaptiveRouting(cube3), src, dst)
+    r_hung = adaptivity_ratio(HypercubeHungRouting(cube3), src, dst)
+    r_obl = adaptivity_ratio(HypercubeObliviousRouting(cube3), src, dst)
+    assert r_adapt == 1.0
+    assert r_adapt > r_hung >= r_obl
+    assert r_obl == 1 / len(minimal_node_paths(cube3, src, dst))
+
+
+def test_mesh_restricted_has_single_path_on_northwest(mesh3):
+    """The paper's motivating example: (x,y)->(v,w) with v<x, w>y has
+    exactly one route under the restricted scheme."""
+    alg = Mesh2DRestrictedRouting(mesh3)
+    src, dst = (2, 0), (0, 2)
+    assert len(realizable_node_paths(alg, src, dst)) == 1
+
+
+def test_mesh_adaptive_has_all_paths_on_northwest(mesh3):
+    alg = Mesh2DAdaptiveRouting(mesh3)
+    src, dst = (2, 0), (0, 2)
+    realizable = realizable_node_paths(alg, src, dst)
+    assert realizable == minimal_node_paths(mesh3, src, dst)
+    assert len(realizable) == comb(4, 2)
+
+
+def test_realizable_paths_all_minimal_for_adaptive_mesh(mesh3):
+    alg = Mesh2DAdaptiveRouting(mesh3)
+    for src in mesh3.nodes():
+        for dst in mesh3.nodes():
+            if src != dst:
+                d = mesh3.distance(src, dst)
+                for p in realizable_node_paths(alg, src, dst):
+                    assert len(p) - 1 == d

@@ -1,0 +1,114 @@
+"""Unit tests for QDG construction, levels, and stats."""
+
+import networkx as nx
+import pytest
+
+from repro.core import (
+    QueueId,
+    build_qdg,
+    explore,
+    find_cycle,
+    is_acyclic,
+    qdg_stats,
+    queue_levels,
+)
+from repro.routing import (
+    HypercubeAdaptiveRouting,
+    HypercubeHungRouting,
+    Mesh2DAdaptiveRouting,
+)
+from repro.topology import Hypercube, Mesh2D
+
+
+def test_static_qdg_is_dag(cube3):
+    alg = HypercubeAdaptiveRouting(cube3)
+    qdg = build_qdg(alg, include_dynamic=False)
+    assert is_acyclic(qdg)
+    assert find_cycle(qdg) is None
+
+
+def test_extended_qdg_has_cycles(cube3):
+    """The whole point of dynamic links: the extended QDG is cyclic."""
+    alg = HypercubeAdaptiveRouting(cube3)
+    qdg = build_qdg(alg, include_dynamic=True)
+    assert not is_acyclic(qdg)
+    assert find_cycle(qdg) is not None
+
+
+def test_hung_variant_has_no_dynamic_edges(cube3):
+    alg = HypercubeHungRouting(cube3)
+    qdg = build_qdg(alg, include_dynamic=True)
+    stats = qdg_stats(qdg)
+    assert stats["dynamic_edges"] == 0
+    assert is_acyclic(qdg)
+
+
+def test_qdg_covers_all_queues(cube3):
+    alg = HypercubeAdaptiveRouting(cube3)
+    qdg = build_qdg(alg)
+    # 8 nodes x (inj, A, B, del)
+    assert qdg.number_of_nodes() == 8 * 4
+
+
+def test_dynamic_edges_are_a_to_a(cube3):
+    alg = HypercubeAdaptiveRouting(cube3)
+    qdg = build_qdg(alg)
+    for u, v, dyn in qdg.edges(data="dynamic"):
+        if dyn:
+            assert u.kind == "A" and v.kind == "A"
+            # dynamic hypercube links correct a 1 into a 0.
+            assert bin(u.node).count("1") == bin(v.node).count("1") + 1
+
+
+def test_exploration_restricted_to_destinations(cube3):
+    alg = HypercubeAdaptiveRouting(cube3)
+    exp = explore(alg, destinations=[0b111])
+    dsts = {t.dst for t in exp.transitions}
+    assert dsts == {0b111}
+
+
+def test_levels_monotone_along_static_edges(mesh3):
+    alg = Mesh2DAdaptiveRouting(mesh3)
+    qdg = build_qdg(alg, include_dynamic=False)
+    levels = queue_levels(qdg)
+    for u, v in qdg.edges():
+        assert levels[v] >= levels[u] + 1
+
+
+def test_levels_zero_at_injection(cube3):
+    alg = HypercubeAdaptiveRouting(cube3)
+    qdg = build_qdg(alg, include_dynamic=False)
+    levels = queue_levels(qdg)
+    for q in qdg.nodes:
+        if q.is_injection:
+            assert levels[q] == 0
+
+
+def test_levels_reject_cyclic_graph():
+    g = nx.DiGraph()
+    a, b = QueueId(0, "A"), QueueId(1, "A")
+    g.add_edge(a, b)
+    g.add_edge(b, a)
+    with pytest.raises(ValueError):
+        queue_levels(g)
+
+
+def test_qdg_stats_counts(cube3):
+    alg = HypercubeAdaptiveRouting(cube3)
+    qdg = build_qdg(alg)
+    stats = qdg_stats(qdg)
+    assert stats["queues"] == 32
+    assert stats["static_edges"] > 0
+    assert stats["dynamic_edges"] > 0
+    assert (
+        stats["static_edges"] + stats["dynamic_edges"] == qdg.number_of_edges()
+    )
+
+
+def test_phase_b_edges_descend_levels(cube3):
+    """Phase-B static hops always clear a 1 (move toward 0...0)."""
+    alg = HypercubeAdaptiveRouting(cube3)
+    qdg = build_qdg(alg, include_dynamic=False)
+    for u, v in qdg.edges():
+        if u.kind == "B" and v.kind == "B" and u.node != v.node:
+            assert bin(u.node).count("1") == bin(v.node).count("1") + 1

@@ -1,0 +1,66 @@
+"""Unit tests for queue identities and specs."""
+
+import pytest
+
+from repro.core import DELIVER, INJECT, QueueId, default_queue_specs, deliver, inject
+from repro.core.queues import QueueSpec, validate_queue_id
+
+
+def test_queue_id_roles():
+    q = QueueId(5, "A")
+    assert q.is_central and not q.is_injection and not q.is_delivery
+    assert inject(5).is_injection
+    assert deliver(5).is_delivery
+    assert not inject(5).is_central
+
+
+def test_queue_id_hashable_and_ordered():
+    a = QueueId(1, "A")
+    b = QueueId(1, "B")
+    assert a != b
+    assert len({a, b, QueueId(1, "A")}) == 2
+    assert sorted([b, a]) == [a, b]
+
+
+def test_queue_spec_capacity():
+    s = QueueSpec("A", 5)
+    assert s.fits(0) and s.fits(4)
+    assert not s.fits(5)
+    assert not s.unbounded
+
+
+def test_queue_spec_unbounded():
+    s = QueueSpec(DELIVER, None)
+    assert s.unbounded
+    assert s.fits(10**9)
+
+
+def test_default_queue_specs():
+    specs = default_queue_specs(("A", "B"))
+    assert specs[INJECT].capacity == 1
+    assert specs[DELIVER].capacity is None
+    assert specs["A"].capacity == 5
+    assert specs["B"].capacity == 5
+    assert set(specs) == {INJECT, DELIVER, "A", "B"}
+
+
+def test_default_queue_specs_custom_capacity():
+    specs = default_queue_specs(("X",), central_capacity=2, injection_capacity=3)
+    assert specs["X"].capacity == 2
+    assert specs[INJECT].capacity == 3
+
+
+def test_default_queue_specs_rejects_reserved_kind():
+    with pytest.raises(ValueError):
+        default_queue_specs((INJECT,))
+
+
+def test_validate_queue_id():
+    assert validate_queue_id(QueueId(1, "A")) == QueueId(1, "A")
+    assert validate_queue_id((2, "B")) == QueueId(2, "B")
+    with pytest.raises(TypeError):
+        validate_queue_id("nope")
+
+
+def test_repr_compact():
+    assert "A" in repr(QueueId(7, "A"))

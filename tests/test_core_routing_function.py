@@ -1,0 +1,86 @@
+"""Tests for the RoutingAlgorithm base machinery (walk, queues, classes)."""
+
+import pytest
+
+from repro.core import DELIVER, INJECT, QueueId, node_path
+from repro.core.routing_function import DYNAMIC_CLASS
+from repro.routing import HypercubeAdaptiveRouting
+from repro.topology import Hypercube
+
+
+def make_alg(n=3):
+    return HypercubeAdaptiveRouting(Hypercube(n))
+
+
+def test_queues_at_node_order():
+    alg = make_alg()
+    qs = alg.queues_at(5)
+    assert qs[0].kind == INJECT
+    assert qs[-1].kind == DELIVER
+    assert [q.kind for q in qs[1:-1]] == ["A", "B"]
+
+
+def test_all_queues_count():
+    alg = make_alg(3)
+    assert sum(1 for _ in alg.all_queues()) == 8 * 4
+
+
+def test_queue_specs_defaults():
+    alg = make_alg()
+    specs = alg.queue_specs(0)
+    assert specs["A"].capacity == 5
+    assert specs[INJECT].capacity == 1
+    specs2 = alg.queue_specs(0, central_capacity=9)
+    assert specs2["B"].capacity == 9
+
+
+def test_buffer_class_dispatch():
+    alg = make_alg()
+    q1, q2 = QueueId(0, "A"), QueueId(1, "A")
+    assert alg.buffer_class(q1, q2, dynamic=False) == "A"
+    assert alg.buffer_class(q1, q2, dynamic=True) == DYNAMIC_CLASS
+
+
+def test_is_internal():
+    alg = make_alg()
+    assert alg.is_internal(QueueId(3, "A"), QueueId(3, "B"))
+    assert not alg.is_internal(QueueId(3, "A"), QueueId(2, "A"))
+
+
+def test_walk_default_choice_deterministic():
+    alg = make_alg(4)
+    assert alg.walk(3, 12) == alg.walk(3, 12)
+
+
+def test_walk_max_steps_guard():
+    alg = make_alg(3)
+    with pytest.raises(RuntimeError):
+        alg.walk(0, 7, max_steps=1)
+
+
+def test_walk_self_pair():
+    """Routing to self: injected into B, delivered immediately."""
+    alg = make_alg(3)
+    path = alg.walk(2, 2)
+    assert node_path(path) == [2]
+
+
+def test_node_path_projection():
+    path = [
+        QueueId(0, INJECT),
+        QueueId(0, "A"),
+        QueueId(1, "A"),
+        QueueId(1, "B"),
+        QueueId(3, "B"),
+        QueueId(3, DELIVER),
+    ]
+    assert node_path(path) == [0, 1, 3]
+
+
+def test_default_buffer_classes_overprovision():
+    """The generic fallback offers all central kinds + dyn."""
+    from repro.routing import Mesh2DAdaptiveRouting
+    from repro.topology import Mesh2D
+
+    alg = Mesh2DAdaptiveRouting(Mesh2D(3))
+    assert alg.buffer_classes((0, 0), (0, 1)) == ("A", "B", DYNAMIC_CLASS)

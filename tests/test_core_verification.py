@@ -1,0 +1,207 @@
+"""Machine verification of the Section-2 theorems on every algorithm.
+
+These tests are the reproduction's analogue of the paper's Theorems
+1-3: every shipped algorithm satisfies all deadlock-freedom conditions
+on exhaustively-checked instances, and deliberately broken variants
+are caught.
+"""
+
+from typing import Any
+
+import pytest
+
+from repro.core import QueueId, deliver, verify_algorithm
+from repro.core.routing_function import RoutingAlgorithm
+from repro.routing import (
+    HypercubeAdaptiveRouting,
+    HypercubeHungRouting,
+    Mesh2DAdaptiveRouting,
+    ShuffleExchangeRouting,
+    TorusRouting,
+)
+from repro.topology import Hypercube, Mesh2D, ShuffleExchange, Torus
+
+from conftest import small_algorithm_zoo, zoo_ids
+
+
+@pytest.mark.parametrize("alg", small_algorithm_zoo(), ids=zoo_ids())
+def test_zoo_deadlock_free(alg):
+    report = verify_algorithm(alg)
+    assert report.deadlock_free, report.errors
+    assert report.ok, report.errors
+
+
+def test_theorem1_hypercube_n4():
+    """Theorem 1 on the 4-cube: fully-adaptive, minimal, deadlock-free,
+    2 central queues per node."""
+    alg = HypercubeAdaptiveRouting(Hypercube(4))
+    assert alg.central_queue_kinds(0) == ("A", "B")
+    report = verify_algorithm(alg)
+    assert report.ok, report.errors
+    assert report.minimal and report.fully_adaptive
+
+
+def test_theorem2_mesh_4x4():
+    """Theorem 2 on the 4x4 mesh."""
+    alg = Mesh2DAdaptiveRouting(Mesh2D(4))
+    assert alg.central_queue_kinds((0, 0)) == ("A", "B")
+    report = verify_algorithm(alg)
+    assert report.ok, report.errors
+
+
+def test_theorem3_shuffle_exchange_n4():
+    """Theorem 3 on the 16-node shuffle-exchange (deadlock freedom +
+    route length bound are checked elsewhere)."""
+    alg = ShuffleExchangeRouting(ShuffleExchange(4))
+    report = verify_algorithm(alg)
+    assert report.deadlock_free, report.errors
+
+
+def test_torus_reconstruction_5x5_full():
+    """The 6-queue torus scheme on a 5x5 torus, full exploration."""
+    alg = TorusRouting(Torus((5, 5)))
+    report = verify_algorithm(
+        alg, check_minimal=False, check_fully_adaptive=False
+    )
+    assert report.deadlock_free, report.errors
+
+
+def test_sampled_sources_skip_level_check():
+    """Restricted-source verification must not produce Level false
+    alarms (Level is only defined over the full exploration)."""
+    alg = TorusRouting(Torus((5, 5)))
+    srcs = [(0, 0), (4, 4), (2, 3), (1, 0)]
+    report = verify_algorithm(
+        alg, sources=srcs, check_minimal=False, check_fully_adaptive=False
+    )
+    assert report.deadlock_free, report.errors
+
+
+def test_report_summary_readable():
+    alg = HypercubeAdaptiveRouting(Hypercube(3))
+    report = verify_algorithm(alg)
+    s = report.summary()
+    assert "hypercube-adaptive" in s and "ok" in s and "FAIL" not in s
+
+
+# ----------------------------------------------------------------------
+# Negative tests: broken algorithms must be rejected.
+# ----------------------------------------------------------------------
+class _SwapDeadlock(RoutingAlgorithm):
+    """Single queue per node, direct minimal hops: the classic
+    store-and-forward swap deadlock (cyclic QDG)."""
+
+    name = "swap-deadlock"
+
+    def central_queue_kinds(self, node):
+        return ("Q",)
+
+    def injection_targets(self, src, dst, state=None):
+        return frozenset({QueueId(src, "Q")})
+
+    def static_hops(self, q, dst, state=None):
+        u = q.node
+        if u == dst:
+            return frozenset({deliver(dst)})
+        topo = self.topology
+        du = topo.distance(u, dst)
+        return frozenset(
+            QueueId(v, "Q")
+            for v in topo.neighbors(u)
+            if topo.distance(v, dst) == du - 1
+        )
+
+
+def test_swap_deadlock_detected():
+    alg = _SwapDeadlock(Hypercube(2))
+    report = verify_algorithm(alg)
+    assert not report.static_acyclic
+    assert not report.deadlock_free
+
+
+class _TeleportingRouting(HypercubeHungRouting):
+    """Hops that jump two dimensions at once violate adjacency."""
+
+    name = "teleporting"
+
+    def static_hops(self, q, dst, state=None):
+        u = q.node
+        if u == dst:
+            return frozenset({deliver(dst)})
+        if q.kind == "A" and bin(u ^ dst).count("1") >= 2:
+            x = u ^ dst
+            lo = x & -x
+            x ^= lo
+            lo2 = x & -x
+            return frozenset({QueueId(u ^ lo ^ lo2, "A")})
+        return super().static_hops(q, dst, state)
+
+
+def test_non_adjacent_hop_detected():
+    alg = _TeleportingRouting(Hypercube(3))
+    report = verify_algorithm(alg, check_minimal=False)
+    assert not report.adjacency_ok
+
+
+class _DeadEndRouting(HypercubeAdaptiveRouting):
+    """Dynamic hop into a queue with no static continuation."""
+
+    name = "dead-end"
+
+    def dynamic_hops(self, q, dst, state=None):
+        if q.kind != "A":
+            return frozenset()
+        u = q.node
+        ones = self._ones_to_fix(u, dst)
+        # Offer 1->0 corrections even when they are the LAST correction,
+        # landing at the destination's B-less... worse: land in a B queue
+        # from which phase-A zeros can never be fixed.
+        return frozenset(
+            QueueId(u ^ (1 << i), "B") for i in self._dims(ones)
+        )
+
+
+def test_dead_end_dynamic_links_detected():
+    alg = _DeadEndRouting(Hypercube(3))
+    report = verify_algorithm(alg, check_minimal=False, check_fully_adaptive=False)
+    # Messages stranded in B with pending 0->1 corrections have no
+    # static hop: the dead-end / termination checks must fire.
+    assert not report.deadlock_free
+
+
+class _AscendingDynamic(HypercubeHungRouting):
+    """Dynamic links that ascend QDG levels (violates monotonicity).
+
+    A phase-A message may set a bit that is *already correct* (a
+    non-minimal detour deeper into the hung cube).  The static QDG
+    stays acyclic, but deeper qA queues sit at strictly higher static
+    levels, so these dynamic links ascend.
+    """
+
+    name = "ascending-dynamic"
+
+    def dynamic_hops(self, q, dst, state=None):
+        u = q.node
+        if q.kind != "A" or u == dst:
+            return frozenset()
+        if not self._zeros_to_fix(u, dst):
+            return frozenset()
+        n = self.n
+        both_zero = [
+            i
+            for i in range(n)
+            if not (u >> i) & 1 and not (dst >> i) & 1
+        ]
+        return frozenset(QueueId(u | (1 << i), "A") for i in both_zero)
+
+
+def test_level_violating_dynamic_links_detected():
+    alg = _AscendingDynamic(Hypercube(3))
+    report = verify_algorithm(alg, check_minimal=False)
+    assert not report.level_monotone
+
+
+def test_verify_with_pair_limit_runs_fast():
+    alg = HypercubeAdaptiveRouting(Hypercube(4))
+    report = verify_algorithm(alg, pair_limit=10)
+    assert report.ok, report.errors

@@ -1,0 +1,93 @@
+"""Tests for multi-seed replication and statistics."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    HypercubeExperiment,
+    ReplicateStats,
+    mean_difference_ci95,
+    replicate,
+)
+
+
+def test_replicate_stats_basic():
+    s = ReplicateStats()
+    for v in (10.0, 12.0, 11.0):
+        s.add(v)
+    assert s.n == 3
+    assert s.mean == 11.0
+    assert s.std == pytest.approx(1.0)
+    lo, hi = s.ci95()
+    assert lo < 11.0 < hi
+
+
+def test_ci_degenerate_cases():
+    s = ReplicateStats()
+    assert math.isnan(s.mean)
+    s.add(5.0)
+    assert s.ci95() == (5.0, 5.0)
+
+
+def test_replicate_random_traffic():
+    agg = replicate(
+        lambda seed: HypercubeExperiment(
+            pattern="random", injection="static", packets_per_node=1,
+            seed=seed,
+        ),
+        n=4,
+        seeds=(1, 2, 3, 4),
+    )
+    assert len(agg.results) == 4
+    assert agg.l_avg.n == 4
+    assert 3.0 < agg.l_avg.mean < 9.5  # around n+1
+    row = agg.row()
+    assert row["runs"] == 4 and "L_avg 95% CI" in row
+
+
+def test_replicate_dynamic_collects_injection_rate():
+    agg = replicate(
+        lambda seed: HypercubeExperiment(
+            pattern="random", injection="dynamic", seed=seed,
+            duration=100, warmup=20,
+        ),
+        n=3,
+        seeds=(1, 2),
+    )
+    assert agg.i_r.n == 2
+    assert 0 < agg.i_r.mean <= 100
+
+
+def test_deterministic_pattern_has_zero_variance():
+    agg = replicate(
+        lambda seed: HypercubeExperiment(
+            pattern="complement", injection="static", packets_per_node=1,
+            seed=seed,
+        ),
+        n=4,
+        seeds=(1, 2, 3),
+    )
+    assert agg.l_avg.std == 0.0
+    assert agg.l_avg.mean == 9.0  # 2n+1
+
+
+def test_mean_difference_ci():
+    a, b = ReplicateStats(), ReplicateStats()
+    for v in (10.0, 10.5, 9.5, 10.2):
+        a.add(v)
+    for v in (20.0, 20.5, 19.5, 20.2):
+        b.add(v)
+    lo, hi = mean_difference_ci95(b, a)
+    assert lo > 0  # b significantly larger than a
+    with pytest.raises(ValueError):
+        mean_difference_ci95(ReplicateStats(), a)
+
+
+def test_mean_difference_identical_samples():
+    a, b = ReplicateStats(), ReplicateStats()
+    for v in (5.0, 5.0, 5.0):
+        a.add(v)
+        b.add(v)
+    lo, hi = mean_difference_ci95(a, b)
+    assert lo == hi == 0.0

@@ -1,0 +1,107 @@
+"""Cross-algorithm integration properties.
+
+One place where the big comparative claims are asserted across the
+whole algorithm zoo: queue budgets, adaptivity ordering, latency laws,
+and simulator interoperability.
+"""
+
+import pytest
+
+from repro.core import adaptivity_ratio, minimal_node_paths, verify_algorithm
+from repro.routing import (
+    BenesAdaptiveRouting,
+    CCCAdaptiveRouting,
+    HypercubeAdaptiveRouting,
+    HypercubeHungRouting,
+    HypercubeObliviousRouting,
+    Mesh2DAdaptiveRouting,
+    ShuffleExchangeRouting,
+    StructuredBufferPoolRouting,
+    TorusRouting,
+)
+from repro.sim import PacketSimulator, RandomTraffic, StaticInjection, make_rng
+from repro.topology import (
+    BenesNetwork,
+    CubeConnectedCycles,
+    Hypercube,
+    Mesh2D,
+    ShuffleExchange,
+    Torus,
+)
+
+
+def test_queue_budgets_match_the_paper_claims():
+    """Theorem 1/2: 2 central queues; Theorem 3 + CCC: 4; our torus
+    reconstruction: 6; buffer pool: diameter+1 (the criticised blow-up);
+    Benes: 1."""
+    budgets = {
+        HypercubeAdaptiveRouting(Hypercube(5)): 2,
+        Mesh2DAdaptiveRouting(Mesh2D(5)): 2,
+        ShuffleExchangeRouting(ShuffleExchange(5)): 4,
+        CCCAdaptiveRouting(CubeConnectedCycles(4)): 4,
+        TorusRouting(Torus((5, 5))): 6,
+        StructuredBufferPoolRouting(Hypercube(5)): 6,
+        BenesAdaptiveRouting(BenesNetwork(3)): 1,
+    }
+    for alg, expect in budgets.items():
+        node = next(iter(alg.topology.nodes()))
+        assert len(alg.central_queue_kinds(node)) == expect, alg.name
+
+
+def test_queue_budget_independent_of_network_size():
+    """The paper's headline: constant queues as N grows (except the
+    buffer-pool baseline, which grows with the diameter)."""
+    for n in (3, 5, 7):
+        assert len(HypercubeAdaptiveRouting(Hypercube(n)).central_queue_kinds(0)) == 2
+    assert len(StructuredBufferPoolRouting(Hypercube(7)).central_queue_kinds(0)) == 8
+
+
+def test_adaptivity_ordering_over_the_zoo():
+    """adaptive (1.0) > hung > oblivious on a mixed hypercube pair."""
+    cube = Hypercube(4)
+    src, dst = 0b0011, 0b1100  # 2 rising + 2 falling corrections
+    r_full = adaptivity_ratio(HypercubeAdaptiveRouting(cube), src, dst)
+    r_hung = adaptivity_ratio(HypercubeHungRouting(cube), src, dst)
+    r_obl = adaptivity_ratio(HypercubeObliviousRouting(cube), src, dst)
+    n_paths = len(minimal_node_paths(cube, src, dst))
+    assert n_paths == 24  # 4!
+    assert r_full == 1.0
+    assert r_hung == pytest.approx(4 / 24)  # 2! x 2! phase-ordered
+    assert r_obl == pytest.approx(1 / 24)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: HypercubeAdaptiveRouting(Hypercube(4)),
+        lambda: Mesh2DAdaptiveRouting(Mesh2D(4)),
+        lambda: TorusRouting(Torus((4, 4))),
+        lambda: ShuffleExchangeRouting(ShuffleExchange(4)),
+        lambda: CCCAdaptiveRouting(CubeConnectedCycles(3)),
+        lambda: StructuredBufferPoolRouting(Mesh2D(3)),
+    ],
+    ids=lambda mk: mk().name,
+)
+def test_same_engine_drives_every_algorithm(make):
+    alg = make()
+    inj = StaticInjection(2, RandomTraffic(alg.topology), make_rng(11))
+    res = PacketSimulator(alg, inj).run(max_cycles=200_000)
+    assert res.delivered == res.injected
+    assert res.latency.minimum >= 3
+
+
+def test_all_shipped_algorithms_deadlock_free_summary():
+    """The one-stop Theorem certification across the zoo."""
+    zoo = [
+        HypercubeAdaptiveRouting(Hypercube(3)),
+        Mesh2DAdaptiveRouting(Mesh2D(3)),
+        TorusRouting(Torus((3, 3))),
+        ShuffleExchangeRouting(ShuffleExchange(3)),
+        CCCAdaptiveRouting(CubeConnectedCycles(3)),
+        StructuredBufferPoolRouting(Hypercube(3)),
+    ]
+    for alg in zoo:
+        report = verify_algorithm(
+            alg, check_minimal=False, check_fully_adaptive=False
+        )
+        assert report.deadlock_free, (alg.name, report.errors)

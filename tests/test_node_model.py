@@ -1,0 +1,133 @@
+"""Unit tests for buffers, arbitration, and node designs (Section 6)."""
+
+import pytest
+
+from repro.core import Message
+from repro.node import (
+    Buffer,
+    BufferPair,
+    NodeDesign,
+    RoundRobinArbiter,
+    build_node_design,
+    fifo_ranks,
+    rotated,
+)
+from repro.routing import (
+    HypercubeAdaptiveRouting,
+    Mesh2DAdaptiveRouting,
+    ShuffleExchangeRouting,
+)
+from repro.topology import Hypercube, Mesh2D, ShuffleExchange
+
+
+# ----------------------------------------------------------------------
+# Buffers
+# ----------------------------------------------------------------------
+def test_buffer_put_take():
+    b = Buffer((0, 1), "A")
+    assert b.empty
+    m = Message(0, 1)
+    b.put(m)
+    assert not b.empty
+    assert b.take() is m
+    assert b.empty
+
+
+def test_buffer_overrun_underrun():
+    b = Buffer((0, 1), "A")
+    with pytest.raises(RuntimeError):
+        b.take()
+    b.put(Message(0, 1))
+    with pytest.raises(RuntimeError):
+        b.put(Message(0, 2))
+
+
+def test_buffer_pair_factory():
+    p = BufferPair.for_link(3, 5, "dyn")
+    assert p.out.link == (3, 5) and p.inp.link == (3, 5)
+    assert p.out.cls == "dyn"
+
+
+# ----------------------------------------------------------------------
+# Arbitration
+# ----------------------------------------------------------------------
+def test_round_robin_rotates_after_grant():
+    arb = RoundRobinArbiter(3)
+    assert arb.order() == [0, 1, 2]
+    arb.grant(0)
+    assert arb.order() == [1, 2, 0]
+    arb.grant(2)
+    assert arb.order() == [0, 1, 2]
+
+
+def test_round_robin_empty():
+    assert RoundRobinArbiter(0).order() == []
+
+
+def test_rotated():
+    assert rotated([1, 2, 3], 0) == [1, 2, 3]
+    assert rotated([1, 2, 3], 1) == [2, 3, 1]
+    assert rotated([1, 2, 3], 5) == [3, 1, 2]
+    assert rotated([], 7) == []
+
+
+def test_fifo_ranks_heads_first():
+    q1 = ["a1", "a2"]
+    q2 = ["b1"]
+    ranks = fifo_ranks([q1, q2])
+    assert [item for *_r, item in ranks] == ["a1", "b1", "a2"]
+
+
+# ----------------------------------------------------------------------
+# Node designs (Figures 4-6)
+# ----------------------------------------------------------------------
+def test_figure4_node_0101():
+    """Figure 4: node 0101 of the 4-hypercube — 2 central queues; each
+    down-link has one (A) buffer, each up-link two (B + dyn)."""
+    alg = HypercubeAdaptiveRouting(Hypercube(4))
+    d = build_node_design(alg, 0b0101)
+    assert d.num_central_queues == 2
+    by_target = {l.link[1]: l.classes for l in d.output_links}
+    assert by_target[0b0111] == ("A",)  # up the cube (set bit 1)
+    assert by_target[0b1101] == ("A",)
+    assert by_target[0b0100] == ("B", "dyn")
+    assert by_target[0b0001] == ("B", "dyn")
+    # 4 out-links with 1+1+2+2 = 6 buffers, mirrored on input side.
+    assert d.num_buffers == 12
+
+
+def test_mesh_node_design():
+    alg = Mesh2DAdaptiveRouting(Mesh2D(4))
+    d = build_node_design(alg, (1, 2))
+    assert d.num_central_queues == 2
+    assert len(d.output_links) == 4  # interior node
+
+
+def test_shuffle_node_design():
+    alg = ShuffleExchangeRouting(ShuffleExchange(3))
+    d = build_node_design(alg, 0b001)
+    assert d.num_central_queues == 4
+    # Out-links: exchange (000) and shuffle (010).
+    assert {l.link[1] for l in d.output_links} == {0b000, 0b010}
+
+
+def test_describe_renders():
+    alg = HypercubeAdaptiveRouting(Hypercube(3))
+    d = build_node_design(alg, 0b101)
+    text = d.describe(alg.topology.format_node)
+    assert "node 101" in text
+    assert "A(cap=5)" in text and "B(cap=5)" in text
+    assert "inj(cap=1)" in text
+
+
+def test_internal_connections_derived():
+    alg = HypercubeAdaptiveRouting(Hypercube(3))
+    d = build_node_design(alg, 0b011, derive_internal=True)
+    assert ("A", "B") in d.internal_connections
+
+
+def test_queue_specs_in_design():
+    alg = HypercubeAdaptiveRouting(Hypercube(3))
+    d = build_node_design(alg, 0, central_capacity=7)
+    assert d.queue_specs["A"].capacity == 7
+    assert d.queue_specs["del"].capacity is None

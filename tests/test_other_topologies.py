@@ -1,0 +1,105 @@
+"""Tests for the extended other-topologies evaluation and report."""
+
+import pytest
+
+from repro.experiments.other_topologies import (
+    CCCComplementTraffic,
+    FAMILIES,
+    SEBitReversalTraffic,
+    family_table,
+    run_cell,
+)
+from repro.sim import HotspotTraffic, make_rng
+from repro.topology import CubeConnectedCycles, Hypercube, ShuffleExchange
+
+
+def test_families_cover_all_other_topologies():
+    assert set(FAMILIES) == {"mesh", "torus", "shuffle-exchange", "ccc"}
+
+
+def test_ccc_complement_is_permutation():
+    t = CCCComplementTraffic(CubeConnectedCycles(3))
+    rng = make_rng(0)
+    assert t.draw((0b000, 1), rng) == (0b111, 1)
+    assert len(set(t.mapping.values())) == len(t.mapping)
+
+
+def test_se_bit_reversal():
+    t = SEBitReversalTraffic(ShuffleExchange(4))
+    rng = make_rng(0)
+    assert t.draw(0b0001, rng) == 0b1000
+
+
+def test_run_cell_static():
+    res = run_cell(FAMILIES["mesh"], 4, "random", "static", packets=1, seed=3)
+    assert res.delivered == res.injected
+    assert res.undelivered == 0
+
+
+def test_run_cell_dynamic():
+    res = run_cell(FAMILIES["torus"], 4, "adversary", "dynamic", seed=3)
+    assert res.attempts > 0
+    assert 0 < res.injection_rate <= 1
+
+
+def test_run_cell_rejects_bad_inputs():
+    fam = FAMILIES["mesh"]
+    with pytest.raises(ValueError):
+        run_cell(fam, 4, "bogus", "static")
+    with pytest.raises(ValueError):
+        run_cell(fam, 4, "random", "bogus")
+
+
+def test_family_table_rows():
+    rows = family_table("shuffle-exchange", "random", "static",
+                        sizes=(3, 4), seed=1)
+    assert [r["size"] for r in rows] == [3, 4]
+    assert all(r["L_avg"] > 0 for r in rows)
+
+
+# ----------------------------------------------------------------------
+# Hotspot traffic
+# ----------------------------------------------------------------------
+def test_hotspot_validation():
+    cube = Hypercube(3)
+    with pytest.raises(ValueError):
+        HotspotTraffic(cube, fraction=0.0)
+    with pytest.raises(ValueError):
+        HotspotTraffic(cube, hotspot=99)
+
+
+def test_hotspot_bias():
+    cube = Hypercube(4)
+    t = HotspotTraffic(cube, hotspot=0, fraction=0.5)
+    rng = make_rng(0)
+    draws = [t.draw(5, rng) for _ in range(800)]
+    frac = draws.count(0) / len(draws)
+    assert 0.4 < frac < 0.6
+    assert all(d != 5 for d in draws)
+
+
+def test_hotspot_node_never_self_targets():
+    cube = Hypercube(3)
+    t = HotspotTraffic(cube, hotspot=0, fraction=0.9)
+    rng = make_rng(1)
+    assert all(t.draw(0, rng) != 0 for _ in range(100))
+
+
+# ----------------------------------------------------------------------
+# Report generation
+# ----------------------------------------------------------------------
+def test_report_sections(monkeypatch):
+    monkeypatch.setenv("REPRO_NS", "3,4")
+    from repro.analysis.report import (
+        figures_section,
+        full_report,
+        paper_tables_section,
+    )
+
+    section = paper_tables_section(numbers=[2], seed=1)
+    assert "Table 2" in section and "shape OK" in section
+    figs = figures_section()
+    assert "Figure 1" in figs and "Figure 6" in figs
+    report = full_report(seed=1, include_figures=False)
+    assert "Table 12" in report and "Other topologies" in report
+    assert "Figure" not in report

@@ -1,0 +1,154 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These check the paper's invariants on randomly drawn instances and
+message populations rather than hand-picked cases:
+
+* greedy walks always terminate at the destination, minimally for the
+  minimal algorithms;
+* the simulator conserves messages and never beats the 2h+1 latency
+  law;
+* explored QDG static subgraphs are DAGs for every algorithm and size;
+* shuffle-exchange schedules always land on the destination.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_qdg, is_acyclic, node_path
+from repro.routing import (
+    HypercubeAdaptiveRouting,
+    Mesh2DAdaptiveRouting,
+    ShuffleExchangeRouting,
+    TorusRouting,
+)
+from repro.sim import (
+    DynamicInjection,
+    PacketSimulator,
+    RandomTraffic,
+    StaticInjection,
+    make_rng,
+)
+from repro.topology import Hypercube, Mesh2D, ShuffleExchange, Torus
+
+COMMON = dict(
+    deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@settings(max_examples=25, **COMMON)
+@given(
+    n=st.integers(2, 5),
+    packets=st.integers(1, 3),
+    seed=st.integers(0, 10_000),
+    capacity=st.integers(1, 5),
+)
+def test_simulator_conserves_and_delivers_hypercube(n, packets, seed, capacity):
+    cube = Hypercube(n)
+    alg = HypercubeAdaptiveRouting(cube)
+    inj = StaticInjection(packets, RandomTraffic(cube), make_rng(seed))
+    sim = PacketSimulator(alg, inj, central_capacity=capacity, stall_limit=2000)
+    res = sim.run(max_cycles=200_000)
+    assert res.delivered == res.injected == packets * cube.num_nodes
+    # Latency law: every message needs at least 2*1+1 cycles.
+    assert res.latency.minimum >= 3
+    # And no more than the drain-time upper bound.
+    assert res.l_max <= res.cycles
+
+
+@settings(max_examples=20, **COMMON)
+@given(
+    rows=st.integers(2, 4),
+    cols=st.integers(2, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_simulator_delivers_mesh(rows, cols, seed):
+    mesh = Mesh2D(rows, cols)
+    alg = Mesh2DAdaptiveRouting(mesh)
+    inj = StaticInjection(2, RandomTraffic(mesh), make_rng(seed))
+    res = PacketSimulator(alg, inj, stall_limit=2000).run(max_cycles=100_000)
+    assert res.delivered == res.injected
+
+
+@settings(max_examples=10, **COMMON)
+@given(seed=st.integers(0, 10_000), rate=st.floats(0.05, 1.0))
+def test_dynamic_injection_rate_bounds(seed, rate):
+    cube = Hypercube(3)
+    alg = HypercubeAdaptiveRouting(cube)
+    inj = DynamicInjection(
+        rate, RandomTraffic(cube), make_rng(seed), duration=120, warmup=30
+    )
+    res = PacketSimulator(alg, inj).run()
+    assert 0.0 <= res.injection_rate <= 1.0
+    assert res.delivered <= res.injected
+
+
+@settings(max_examples=15, **COMMON)
+@given(n=st.integers(2, 4))
+def test_static_qdg_always_dag_hypercube(n):
+    alg = HypercubeAdaptiveRouting(Hypercube(n))
+    assert is_acyclic(build_qdg(alg, include_dynamic=False))
+
+
+@settings(max_examples=10, **COMMON)
+@given(shape=st.tuples(st.integers(3, 5), st.integers(3, 5)))
+def test_static_qdg_always_dag_torus(shape):
+    alg = TorusRouting(Torus(shape))
+    assert is_acyclic(build_qdg(alg, include_dynamic=False))
+
+
+@settings(max_examples=30, **COMMON)
+@given(n=st.integers(3, 6), data=st.data())
+def test_shuffle_exchange_walk_length_bound(n, data):
+    se = ShuffleExchange(n)
+    alg = ShuffleExchangeRouting(se)
+    src = data.draw(st.integers(0, se.num_nodes - 1))
+    dst = data.draw(st.integers(0, se.num_nodes - 1))
+    if src == dst:
+        return
+    path = alg.walk(src, dst)
+    physical_hops = sum(
+        1 for a, b in zip(path, path[1:]) if a.node != b.node
+    )
+    assert physical_hops <= 3 * n
+    assert node_path(path)[-1] == dst
+
+
+@settings(max_examples=30, **COMMON)
+@given(
+    shape=st.sampled_from([(3, 3), (3, 4), (5, 5), (4, 4), (3, 3, 3)]),
+    data=st.data(),
+)
+def test_torus_walk_minimality(shape, data):
+    t = Torus(shape)
+    alg = TorusRouting(t)
+    nodes_all = list(t.nodes())
+    src = data.draw(st.sampled_from(nodes_all))
+    dst = data.draw(st.sampled_from(nodes_all))
+    if src == dst:
+        return
+    nodes = node_path(alg.walk(src, dst))
+    assert len(nodes) - 1 == t.distance(src, dst)
+
+
+@settings(max_examples=25, **COMMON)
+@given(
+    n=st.integers(2, 5),
+    seed=st.integers(0, 100),
+    choose_seed=st.integers(0, 100),
+)
+def test_random_walk_policy_still_minimal(n, seed, choose_seed):
+    """Minimality holds for ANY hop-selection policy, not just the
+    deterministic one (full adaptivity means the adversary can pick)."""
+    import numpy as np
+
+    cube = Hypercube(n)
+    alg = HypercubeAdaptiveRouting(cube)
+    rng = np.random.default_rng(choose_seed)
+    pick = lambda cands: cands[int(rng.integers(len(cands)))]
+    r2 = np.random.default_rng(seed)
+    src = int(r2.integers(cube.num_nodes))
+    dst = int(r2.integers(cube.num_nodes))
+    if src == dst:
+        return
+    nodes = node_path(alg.walk(src, dst, choose=pick))
+    assert len(nodes) - 1 == cube.distance(src, dst)

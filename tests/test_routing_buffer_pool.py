@@ -1,0 +1,52 @@
+"""Unit tests for the structured-buffer-pool baseline."""
+
+import pytest
+
+from repro.core import QueueId, node_path, verify_algorithm
+from repro.routing import StructuredBufferPoolRouting
+from repro.topology import Hypercube, Mesh2D, Torus
+
+
+def test_levels_match_diameter():
+    alg = StructuredBufferPoolRouting(Hypercube(4))
+    assert alg.levels == 5
+    assert alg.central_queue_kinds(0) == ("L0", "L1", "L2", "L3", "L4")
+
+
+def test_hardware_blowup_vs_paper_scheme():
+    """The paper's criticism: queue count grows with the diameter,
+    whereas the paper's algorithms use 2 queues regardless of n."""
+    for n in (3, 5, 7):
+        alg = StructuredBufferPoolRouting(Hypercube(n))
+        assert len(alg.central_queue_kinds(0)) == n + 1
+
+
+def test_injection_enters_level_zero():
+    alg = StructuredBufferPoolRouting(Hypercube(3))
+    assert alg.injection_targets(2, 5) == {QueueId(2, "L0")}
+
+
+def test_hops_increment_level():
+    alg = StructuredBufferPoolRouting(Hypercube(3))
+    for q2 in alg.static_hops(QueueId(0, "L0"), 0b111):
+        assert q2.kind == "L1"
+
+
+def test_works_on_mesh_and_torus():
+    for topo in (Mesh2D(3), Torus((3, 3))):
+        alg = StructuredBufferPoolRouting(topo)
+        nodes = node_path(alg.walk((0, 0), (2, 2)))
+        assert nodes[-1] == (2, 2)
+        assert len(nodes) - 1 == topo.distance((0, 0), (2, 2))
+
+
+def test_verifies_fully_adaptive_minimal():
+    report = verify_algorithm(StructuredBufferPoolRouting(Hypercube(3)))
+    assert report.ok, report.errors
+    assert report.fully_adaptive and report.minimal
+
+
+def test_overrunning_levels_raises():
+    alg = StructuredBufferPoolRouting(Hypercube(3), levels=1)
+    with pytest.raises(RuntimeError):
+        alg.static_hops(QueueId(0, "L1"), 0b111)

@@ -1,0 +1,125 @@
+"""Tests for the CCC adaptive routing reconstruction."""
+
+import pytest
+
+from repro.core import QueueId, deliver, node_path, verify_algorithm
+from repro.routing import CCCAdaptiveRouting
+from repro.sim import PacketSimulator, RandomTraffic, StaticInjection, make_rng
+from repro.topology import CubeConnectedCycles
+
+
+def alg3(**kw):
+    return CCCAdaptiveRouting(CubeConnectedCycles(3), **kw)
+
+
+def test_requires_ccc():
+    from repro.topology import Hypercube
+
+    with pytest.raises(TypeError):
+        CCCAdaptiveRouting(Hypercube(3))
+
+
+def test_four_central_queues_independent_of_n():
+    for n in (3, 4, 5):
+        alg = CCCAdaptiveRouting(CubeConnectedCycles(n))
+        assert alg.central_queue_kinds((0, 0)) == ("P1a", "P1b", "P2a", "P2b")
+
+
+def test_injection_phase_selection():
+    alg = alg3()
+    # Rising bits pending -> phase 1.
+    assert alg.injection_targets((0b001, 0), (0b011, 2)) == {
+        QueueId((0b001, 0), "P1a")
+    }
+    # Only falling bits -> phase 2.
+    assert alg.injection_targets((0b011, 0), (0b001, 2)) == {
+        QueueId((0b011, 0), "P2a")
+    }
+
+
+def test_mandatory_rising_correction_at_position():
+    alg = alg3()
+    # At (001, 1) heading to cube 011: bit 1 must rise and p == 1.
+    hops = alg.static_hops(QueueId((0b001, 1), "P1a"), (0b011, 2))
+    assert hops == {QueueId((0b011, 1), "P1a")}
+
+
+def test_cycle_walk_when_position_wrong():
+    alg = alg3()
+    # At (001, 0) heading to cube 011 (rising bit 1): walk the cycle.
+    hops = alg.static_hops(QueueId((0b001, 0), "P1a"), (0b011, 2))
+    assert hops == {QueueId((0b001, 1), "P1a")}
+
+
+def test_break_crossing_bumps_class():
+    alg = alg3()
+    # Walking from position 2 into position 0 crosses the break.
+    hops = alg.static_hops(QueueId((0b001, 2), "P1a"), (0b010, 1))
+    assert hops == {QueueId((0b001, 0), "P1b")}
+
+
+def test_dynamic_early_falling_correction():
+    alg = alg3()
+    # At (101, 0) heading to cube 010: bit 0 falls (dynamic candidate
+    # at p=0), bit 1 rises (so phase 1 is still active).
+    dyn = alg.dynamic_hops(QueueId((0b101, 0), "P1a"), (0b010, 1))
+    assert dyn == {QueueId((0b100, 0), "P1a")}
+    # Without pending rising bits there is no dynamic hop.
+    assert alg.dynamic_hops(QueueId((0b101, 0), "P1a"), (0b100, 1)) == frozenset()
+
+
+def test_phase_switch_internal():
+    alg = alg3()
+    hops = alg.static_hops(QueueId((0b011, 0), "P1a"), (0b001, 2))
+    assert hops == {QueueId((0b011, 0), "P2a")}
+
+
+def test_delivery():
+    alg = alg3()
+    assert alg.static_hops(QueueId((0b010, 1), "P2b"), (0b010, 1)) == {
+        deliver((0b010, 1))
+    }
+
+
+def test_machine_verified_deadlock_free():
+    for n in (3, 4):
+        report = verify_algorithm(CCCAdaptiveRouting(CubeConnectedCycles(n)))
+        assert report.deadlock_free, (n, report.errors)
+
+
+def test_static_variant_verifies_too():
+    report = verify_algorithm(alg3(adaptive=False))
+    assert report.deadlock_free, report.errors
+
+
+def test_walks_terminate_with_linear_bound():
+    ccc = CubeConnectedCycles(4)
+    alg = CCCAdaptiveRouting(ccc)
+    nodes = list(ccc.nodes())
+    for src in nodes[::7]:
+        for dst in nodes[::11]:
+            if src == dst:
+                continue
+            p = node_path(alg.walk(src, dst))
+            assert p[-1] == dst
+            assert len(p) - 1 <= 4 * ccc.n
+
+
+def test_simulation_drains():
+    ccc = CubeConnectedCycles(3)
+    alg = CCCAdaptiveRouting(ccc)
+    inj = StaticInjection(3, RandomTraffic(ccc), make_rng(0))
+    res = PacketSimulator(alg, inj).run(max_cycles=100_000)
+    assert res.delivered == res.injected == 3 * ccc.num_nodes
+
+
+def test_saturation_no_deadlock():
+    from repro.sim import DynamicInjection
+
+    ccc = CubeConnectedCycles(3)
+    alg = CCCAdaptiveRouting(ccc)
+    inj = DynamicInjection(
+        1.0, RandomTraffic(ccc), make_rng(1), duration=300, warmup=100
+    )
+    res = PacketSimulator(alg, inj, central_capacity=1, stall_limit=300).run()
+    assert res.delivered > 0

@@ -1,0 +1,163 @@
+"""Unit tests for the hypercube routing functions (paper, Section 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QueueId, deliver, inject, node_path
+from repro.core.routing_function import DYNAMIC_CLASS
+from repro.routing import (
+    HypercubeAdaptiveRouting,
+    HypercubeHungRouting,
+    HypercubeObliviousRouting,
+    all_hypercube_algorithms,
+)
+from repro.topology import Hypercube
+
+
+def alg3():
+    return HypercubeAdaptiveRouting(Hypercube(3))
+
+
+def test_requires_hypercube_topology():
+    from repro.topology import Mesh2D
+
+    with pytest.raises(TypeError):
+        HypercubeAdaptiveRouting(Mesh2D(3))
+
+
+def test_two_central_queues():
+    assert alg3().central_queue_kinds(0) == ("A", "B")
+
+
+def test_injection_phase_selection():
+    alg = alg3()
+    # 001 -> 110 has a 0 to correct -> qA.
+    assert alg.injection_targets(0b001, 0b110) == {QueueId(0b001, "A")}
+    # 111 -> 010 has only 1s to correct -> qB.
+    assert alg.injection_targets(0b111, 0b010) == {QueueId(0b111, "B")}
+    # 010 -> 011: one incorrect 0 -> qA.
+    assert alg.injection_targets(0b010, 0b011) == {QueueId(0b010, "A")}
+
+
+def test_phase_a_static_hops_set_zeros():
+    alg = alg3()
+    hops = alg.static_hops(QueueId(0b001, "A"), 0b110)
+    assert hops == {QueueId(0b011, "A"), QueueId(0b101, "A")}
+
+
+def test_phase_a_dynamic_hops_clear_ones():
+    alg = alg3()
+    hops = alg.dynamic_hops(QueueId(0b001, "A"), 0b110)
+    assert hops == {QueueId(0b000, "A")}
+
+
+def test_extended_hops_cover_all_differing_dims():
+    """R~ from qA offers every differing dimension (paper's formula)."""
+    alg = alg3()
+    hops = alg.hops(QueueId(0b001, "A"), 0b110)
+    assert hops == {QueueId(0b011, "A"), QueueId(0b101, "A"), QueueId(0b000, "A")}
+
+
+def test_no_dynamic_hops_without_zeros_pending():
+    alg = alg3()
+    assert alg.dynamic_hops(QueueId(0b111, "A"), 0b010) == frozenset()
+    assert alg.dynamic_hops(QueueId(0b011, "B"), 0b010) == frozenset()
+
+
+def test_phase_change_is_internal():
+    alg = alg3()
+    # At 111 heading to 010: no zeros left, switch to qB in place.
+    assert alg.static_hops(QueueId(0b111, "A"), 0b010) == {QueueId(0b111, "B")}
+
+
+def test_phase_b_clears_ones():
+    alg = alg3()
+    hops = alg.static_hops(QueueId(0b111, "B"), 0b010)
+    assert hops == {QueueId(0b011, "B"), QueueId(0b110, "B")}
+
+
+def test_delivery_from_both_phases():
+    alg = alg3()
+    assert alg.static_hops(QueueId(0b110, "A"), 0b110) == {deliver(0b110)}
+    assert alg.static_hops(QueueId(0b110, "B"), 0b110) == {deliver(0b110)}
+
+
+def test_buffer_classes_match_figure4():
+    """Down-links carry only static-A; up-links carry B + dynamic."""
+    alg = HypercubeAdaptiveRouting(Hypercube(4))
+    assert alg.buffer_classes(0b0101, 0b0111) == ("A",)  # sets bit 1
+    assert alg.buffer_classes(0b0101, 0b0100) == ("B", DYNAMIC_CLASS)
+    assert alg.buffer_classes(0b0101, 0b0001) == ("B", DYNAMIC_CLASS)
+    assert alg.buffer_classes(0b0101, 0b1101) == ("A",)
+
+
+def test_walk_reaches_destination_minimally():
+    alg = HypercubeAdaptiveRouting(Hypercube(4))
+    cube = alg.topology
+    for src, dst in [(0, 15), (5, 10), (12, 3), (1, 2)]:
+        path = alg.walk(src, dst)
+        assert path[0] == inject(src)
+        assert path[-1] == deliver(dst)
+        nodes = node_path(path)
+        assert nodes[0] == src and nodes[-1] == dst
+        assert len(nodes) - 1 == cube.distance(src, dst)
+
+
+def test_oblivious_is_deterministic():
+    alg = HypercubeObliviousRouting(Hypercube(4))
+    p1 = alg.walk(0b0011, 0b1100)
+    p2 = alg.walk(0b0011, 0b1100)
+    assert p1 == p2
+    # Phase A corrects lowest zero first: 0011 -> 0111.
+    assert p1[2] == QueueId(0b0111, "A")
+
+
+def test_all_hypercube_algorithms_factory():
+    algos = all_hypercube_algorithms(3)
+    assert set(algos) == {
+        "hypercube-adaptive",
+        "hypercube-hung",
+        "hypercube-oblivious",
+    }
+    for alg in algos.values():
+        assert alg.topology.n == 3
+
+
+def test_hung_never_offers_dynamic():
+    alg = HypercubeHungRouting(Hypercube(3))
+    for u in range(8):
+        for dst in range(8):
+            for kind in ("A", "B"):
+                assert alg.dynamic_hops(QueueId(u, kind), dst) == frozenset()
+
+
+@settings(max_examples=60)
+@given(st.integers(2, 6), st.data())
+def test_walk_is_minimal_for_random_pairs(n, data):
+    cube = Hypercube(n)
+    alg = HypercubeAdaptiveRouting(cube)
+    src = data.draw(st.integers(0, cube.num_nodes - 1))
+    dst = data.draw(st.integers(0, cube.num_nodes - 1))
+    if src == dst:
+        return
+    nodes = node_path(alg.walk(src, dst))
+    assert len(nodes) - 1 == cube.distance(src, dst)
+    for a, b in zip(nodes, nodes[1:]):
+        assert cube.is_adjacent(a, b)
+
+
+@settings(max_examples=40)
+@given(st.integers(2, 5), st.data())
+def test_every_hop_is_profitable(n, data):
+    """Minimality at the hop level: each move reduces the distance."""
+    cube = Hypercube(n)
+    alg = HypercubeAdaptiveRouting(cube)
+    u = data.draw(st.integers(0, cube.num_nodes - 1))
+    dst = data.draw(st.integers(0, cube.num_nodes - 1))
+    if u == dst:
+        return
+    for kind in ("A", "B"):
+        for q2 in alg.hops(QueueId(u, kind), dst):
+            if q2.is_central and q2.node != u:
+                assert cube.distance(q2.node, dst) == cube.distance(u, dst) - 1

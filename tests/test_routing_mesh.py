@@ -1,0 +1,134 @@
+"""Unit tests for the mesh routing functions (paper, Section 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QueueId, deliver, node_path
+from repro.routing import (
+    Mesh2DAdaptiveRouting,
+    Mesh2DRestrictedRouting,
+    MeshAdaptiveRouting,
+    MeshObliviousRouting,
+)
+from repro.topology import Mesh, Mesh2D
+
+
+def adaptive3():
+    return Mesh2DAdaptiveRouting(Mesh2D(3))
+
+
+def test_requires_mesh_topology():
+    from repro.topology import Hypercube
+
+    with pytest.raises(TypeError):
+        Mesh2DAdaptiveRouting(Hypercube(3))
+    with pytest.raises(TypeError):
+        MeshAdaptiveRouting(Hypercube(3))
+
+
+def test_injection_phase():
+    alg = adaptive3()
+    # Needs +x: phase A.
+    assert alg.injection_targets((0, 0), (2, 1)) == {QueueId((0, 0), "A")}
+    # Only decreasing corrections: phase B.
+    assert alg.injection_targets((2, 2), (1, 0)) == {QueueId((2, 2), "B")}
+    # Mixed (z < x but w > y): still phase A.
+    assert alg.injection_targets((2, 0), (0, 2)) == {QueueId((2, 0), "A")}
+
+
+def test_phase_a_static_hops_ascend():
+    alg = adaptive3()
+    hops = alg.static_hops(QueueId((0, 0), "A"), (2, 2))
+    assert hops == {QueueId((1, 0), "A"), QueueId((0, 1), "A")}
+
+
+def test_phase_a_dynamic_hops_descend_while_ascent_remains():
+    """Paper: -x allowed in phase A only while w > y (or symmetric)."""
+    alg = adaptive3()
+    # (2,0) -> (0,2): +y ascending remains, so -x dynamic hop allowed.
+    hops = alg.dynamic_hops(QueueId((2, 0), "A"), (0, 2))
+    assert hops == {QueueId((1, 0), "A")}
+    # (2,2) -> (0,2): only -x remains, no ascent -> no dynamic hop.
+    assert alg.dynamic_hops(QueueId((2, 2), "A"), (0, 2)) == frozenset()
+
+
+def test_phase_change_internal():
+    alg = adaptive3()
+    assert alg.static_hops(QueueId((2, 2), "A"), (0, 1)) == {
+        QueueId((2, 2), "B")
+    }
+
+
+def test_phase_b_descends_both_dims():
+    alg = adaptive3()
+    hops = alg.static_hops(QueueId((2, 2), "B"), (0, 0))
+    assert hops == {QueueId((1, 2), "B"), QueueId((2, 1), "B")}
+
+
+def test_delivery():
+    alg = adaptive3()
+    assert alg.static_hops(QueueId((1, 1), "A"), (1, 1)) == {deliver((1, 1))}
+    assert alg.static_hops(QueueId((1, 1), "B"), (1, 1)) == {deliver((1, 1))}
+
+
+def test_restricted_never_dynamic():
+    alg = Mesh2DRestrictedRouting(Mesh2D(3))
+    for u in alg.topology.nodes():
+        for d in alg.topology.nodes():
+            for kind in ("A", "B"):
+                assert alg.dynamic_hops(QueueId(u, kind), d) == frozenset()
+
+
+def test_oblivious_single_choice():
+    alg = MeshObliviousRouting(Mesh2D(4))
+    hops = alg.static_hops(QueueId((0, 0), "A"), (3, 3))
+    assert len(hops) == 1
+
+
+def test_kdim_mesh_routing():
+    """The paper's 'easily generalized' claim: 3-dimensional mesh."""
+    mesh = Mesh((3, 3, 3))
+    alg = MeshAdaptiveRouting(mesh)
+    src, dst = (0, 2, 1), (2, 0, 2)
+    nodes = node_path(alg.walk(src, dst))
+    assert nodes[0] == src and nodes[-1] == dst
+    assert len(nodes) - 1 == mesh.distance(src, dst)
+
+
+def test_kdim_mesh_verifies():
+    from repro.core import verify_algorithm
+
+    alg = MeshAdaptiveRouting(Mesh((2, 2, 2)))
+    report = verify_algorithm(alg)
+    assert report.ok, report.errors
+
+
+@settings(max_examples=50)
+@given(st.integers(2, 5), st.integers(2, 5), st.data())
+def test_walk_minimal_random_pairs(rows, cols, data):
+    mesh = Mesh2D(rows, cols)
+    alg = Mesh2DAdaptiveRouting(mesh)
+    nodes_all = list(mesh.nodes())
+    src = data.draw(st.sampled_from(nodes_all))
+    dst = data.draw(st.sampled_from(nodes_all))
+    if src == dst:
+        return
+    nodes = node_path(alg.walk(src, dst))
+    assert len(nodes) - 1 == mesh.distance(src, dst)
+
+
+@settings(max_examples=50)
+@given(st.integers(2, 5), st.data())
+def test_every_hop_profitable(rows, data):
+    mesh = Mesh2D(rows)
+    alg = Mesh2DAdaptiveRouting(mesh)
+    nodes_all = list(mesh.nodes())
+    u = data.draw(st.sampled_from(nodes_all))
+    dst = data.draw(st.sampled_from(nodes_all))
+    if u == dst:
+        return
+    for kind in ("A", "B"):
+        for q2 in alg.hops(QueueId(u, kind), dst):
+            if q2.is_central and q2.node != u:
+                assert mesh.distance(q2.node, dst) == mesh.distance(u, dst) - 1

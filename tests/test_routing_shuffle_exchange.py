@@ -1,0 +1,183 @@
+"""Unit tests for the shuffle-exchange routing (paper, Section 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QueueId, deliver, node_path, verify_algorithm
+from repro.routing import ShuffleExchangeRouting, required_classes_per_phase
+from repro.topology import ShuffleExchange
+
+
+def se_alg(n=3, **kw):
+    return ShuffleExchangeRouting(ShuffleExchange(n), **kw)
+
+
+def test_requires_shuffle_exchange():
+    from repro.topology import Hypercube
+
+    with pytest.raises(TypeError):
+        ShuffleExchangeRouting(Hypercube(3))
+
+
+def test_four_queues_for_n3():
+    """Theorem 3's queue count holds when no cycle can be wrapped twice."""
+    alg = se_alg(3)
+    assert len(alg.central_queue_kinds(0)) == 4
+    assert required_classes_per_phase(3) == 2
+
+
+def test_required_classes_grow_for_composite_n():
+    """n = 4 has the 2-cycle {0101, 1010}: a message can wrap it twice
+    within one phase, so two classes per phase are not enough."""
+    assert required_classes_per_phase(4) > 2
+    alg = se_alg(4)
+    assert len(alg.central_queue_kinds(0)) == 2 * required_classes_per_phase(4)
+
+
+def test_prime_n_needs_two_classes():
+    assert required_classes_per_phase(5) == 2
+    assert required_classes_per_phase(7) == 2
+
+
+def test_target_bit_schedule_round_trips():
+    """Following the schedule for 2n shuffles lands exactly on dst."""
+    for n in (3, 4, 5):
+        alg = se_alg(n)
+        for src in range(1 << n):
+            for dst in range(1 << n):
+                x = src
+                for k in range(2 * n):
+                    want = alg.target_bit(dst, k)
+                    if (x & 1) != want:
+                        x ^= 1
+                    x = ((x << 1) | (x >> (n - 1))) & ((1 << n) - 1)
+                # After the last shuffle one final correction slot k=2n-1
+                # has been applied before the rotation; the address must
+                # now equal dst.
+                assert x == dst, (n, src, dst)
+
+
+def test_mandatory_01_correction_in_phase1():
+    alg = se_alg(3)
+    # src 000 -> dst with bit d_0 = 1: at k=0 target bit is dst_0.
+    hops = alg.static_hops(QueueId(0b000, "P1C0"), 0b101, state=0)
+    assert hops == {QueueId(0b001, "P1C0")}  # exchange forced
+
+
+def test_deferrable_10_correction_is_dynamic():
+    alg = se_alg(3)
+    # At node 001 heading to 110: k=0 targets d_0 = 0, LSB = 1.
+    st_hops = alg.static_hops(QueueId(0b001, "P1C0"), 0b110, state=0)
+    dy_hops = alg.dynamic_hops(QueueId(0b001, "P1C0"), 0b110, state=0)
+    assert st_hops == {QueueId(0b010, "P1C0")}  # shuffle on (defer)
+    assert dy_hops == {QueueId(0b000, "P1C0")}  # early exchange
+
+
+def test_phase2_corrections_mandatory():
+    alg = se_alg(3)
+    # Phase 2 (k >= 3), LSB 1 but target 0 -> exchange, no shuffle.
+    hops = alg.static_hops(QueueId(0b011, "P2C0"), 0b010, state=3)
+    assert hops == {QueueId(0b010, "P2C0")}
+    assert alg.dynamic_hops(QueueId(0b011, "P2C0"), 0b010, state=3) == frozenset()
+
+
+def test_eager_delivery():
+    alg = se_alg(3)
+    assert alg.static_hops(QueueId(0b110, "P1C1"), 0b110, state=2) == {
+        deliver(0b110)
+    }
+
+
+def test_class_bump_at_break_node():
+    alg = se_alg(3)
+    # 100 -> shuffle -> 001 which is the break node of its cycle.
+    q2 = alg._shuffle_hop(QueueId(0b100, "P1C0"), k=0)
+    assert q2 == QueueId(0b001, "P1C1")
+
+
+def test_phase_switch_on_nth_shuffle():
+    alg = se_alg(3)
+    q2 = alg._shuffle_hop(QueueId(0b010, "P1C1"), k=2)  # k+1 == n
+    assert q2 == QueueId(0b100, "P2C0")
+
+
+def test_self_shuffle_is_state_only():
+    alg = se_alg(3)
+    hops = alg.static_hops(QueueId(0b000, "P1C0"), 0b100, state=0)
+    # k=0 targets d_0=0 == LSB, so shuffle; rol(000)=000 -> self hop.
+    assert hops == {QueueId(0b000, "P1C0")}
+    assert alg.update_state(0, QueueId(0b000, "P1C0"), QueueId(0b000, "P1C0")) == 1
+
+
+def test_update_state_rules():
+    alg = se_alg(3)
+    shuffle = (QueueId(0b001, "P1C0"), QueueId(0b010, "P1C0"))
+    exchange = (QueueId(0b001, "P1C0"), QueueId(0b000, "P1C0"))
+    assert alg.update_state(4, *shuffle) == 5
+    assert alg.update_state(4, *exchange) == 4
+
+
+def test_exhausted_schedule_raises():
+    alg = se_alg(3)
+    with pytest.raises(RuntimeError):
+        alg.static_hops(QueueId(0b001, "P2C0"), 0b110, state=6)
+
+
+def test_route_length_bound_3n():
+    """Theorem 3: every route takes at most 3n steps (2n shuffles +
+    n exchanges); internal self-shuffles do not add physical hops."""
+    for n in (3, 4):
+        se = ShuffleExchange(n)
+        alg = ShuffleExchangeRouting(se)
+        for src in se.nodes():
+            for dst in se.nodes():
+                if src == dst:
+                    continue
+                path = alg.walk(src, dst)
+                physical = [
+                    (a, b)
+                    for a, b in zip(path, path[1:])
+                    if a.node != b.node
+                ]
+                assert len(physical) <= 3 * n, (src, dst, len(physical))
+                nodes = node_path(path)
+                assert nodes[-1] == dst
+
+
+def test_static_variant_has_no_dynamic_hops():
+    alg = se_alg(3, adaptive=False)
+    for u in range(8):
+        for dst in range(8):
+            for k in range(5):
+                assert (
+                    alg.dynamic_hops(QueueId(u, "P1C0"), dst, state=k)
+                    == frozenset()
+                )
+
+
+def test_n4_with_extra_classes_verifies():
+    alg = se_alg(4)
+    report = verify_algorithm(alg)
+    assert report.deadlock_free, report.errors
+
+
+def test_n4_with_only_two_classes_fails_verification():
+    """Force the paper's literal 4-queue layout at n=4: the saturated
+    class wraps the short cycle and the static QDG goes cyclic."""
+    alg = se_alg(4, classes_per_phase=2)
+    report = verify_algorithm(alg)
+    assert not report.static_acyclic
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(3, 5), st.data())
+def test_walk_terminates_and_arrives(n, data):
+    se = ShuffleExchange(n)
+    alg = ShuffleExchangeRouting(se)
+    src = data.draw(st.integers(0, se.num_nodes - 1))
+    dst = data.draw(st.integers(0, se.num_nodes - 1))
+    if src == dst:
+        return
+    path = alg.walk(src, dst)
+    assert path[-1] == deliver(dst)

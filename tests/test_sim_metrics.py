@@ -1,0 +1,78 @@
+"""Unit tests for metrics and result reporting."""
+
+import math
+
+from repro.sim import LatencyStats, SimulationResult
+
+
+def make_result(values, attempts=0, successes=0, cycles=100):
+    lat = LatencyStats()
+    for v in values:
+        lat.record(v)
+    return SimulationResult(
+        algorithm="alg",
+        topology="topo",
+        pattern="pat",
+        injection="inj",
+        cycles=cycles,
+        injected=len(values),
+        delivered=len(values),
+        latency=lat,
+        attempts=attempts,
+        successes=successes,
+    )
+
+
+def test_latency_stats_basic():
+    s = LatencyStats()
+    for v in (3, 5, 7, 9):
+        s.record(v)
+    assert s.count == 4
+    assert s.mean == 6.0
+    assert s.maximum == 9
+    assert s.minimum == 3
+    assert s.percentile(50) == 6.0
+
+
+def test_latency_stats_empty():
+    s = LatencyStats()
+    assert s.count == 0
+    assert math.isnan(s.mean)
+    assert s.maximum == 0
+    assert math.isnan(s.percentile(99))
+
+
+def test_latency_histogram():
+    s = LatencyStats()
+    for v in range(100):
+        s.record(v)
+    counts, edges = s.histogram(bins=10)
+    assert counts.sum() == 100
+    assert len(edges) == 11
+
+
+def test_result_l_avg_l_max():
+    r = make_result([3, 5, 7])
+    assert r.l_avg == 5.0
+    assert r.l_max == 7
+
+
+def test_result_injection_rate():
+    r = make_result([3], attempts=200, successes=150)
+    assert r.injection_rate == 0.75
+    r2 = make_result([3])
+    assert math.isnan(r2.injection_rate)
+
+
+def test_result_throughput():
+    r = make_result([3, 3], cycles=100)
+    assert r.throughput == 0.02
+
+
+def test_result_row_static_and_dynamic():
+    r = make_result([3, 5], attempts=0)
+    row = r.row()
+    assert "I_r(%)" not in row
+    assert row["L_avg"] == 4.0
+    r2 = make_result([3, 5], attempts=100, successes=90)
+    assert r2.row()["I_r(%)"] == 90.0

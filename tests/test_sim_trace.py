@@ -1,0 +1,64 @@
+"""Tests for the structured event tracer."""
+
+from repro.routing import HypercubeAdaptiveRouting
+from repro.sim import ComplementTraffic, StaticInjection, make_rng
+from repro.sim.trace import TracingSimulator
+from repro.topology import Hypercube
+
+
+def traced_run(n=3):
+    cube = Hypercube(n)
+    alg = HypercubeAdaptiveRouting(cube)
+    inj = StaticInjection(1, ComplementTraffic(cube), make_rng(0))
+    sim = TracingSimulator(alg, inj)
+    sim.run(max_cycles=5_000)
+    return sim
+
+
+def test_every_packet_has_full_timeline():
+    sim = traced_run()
+    uids = list(sim.packets())
+    assert len(uids) == 8
+    for uid in uids:
+        tl = sim.timeline(uid)
+        assert tl[0].kind == "inject"
+        assert tl[-1].kind == "deliver"
+        # complement route: n+1 distinct nodes visited (a phase fold
+        # adds a same-node queue event but no extra node).
+        enters = [e for e in tl if e.kind == "enter"]
+        assert len({e.queue.node for e in enters}) == 3 + 1
+        assert 3 + 1 <= len(enters) <= 3 + 2
+
+
+def test_timeline_cycles_monotone():
+    sim = traced_run()
+    for uid in sim.packets():
+        cycles = [e.cycle for e in sim.timeline(uid)]
+        assert cycles == sorted(cycles)
+
+
+def test_timeline_matches_latency():
+    sim = traced_run()
+    for uid in sim.packets():
+        tl = sim.timeline(uid)
+        assert tl[-1].cycle - tl[0].cycle == 2 * 3 + 1  # the 2n+1 law
+
+
+def test_enter_events_follow_adjacent_nodes():
+    sim = traced_run(4)
+    topo = Hypercube(4)
+    for uid in sim.packets():
+        nodes = [
+            e.queue.node
+            for e in sim.timeline(uid)
+            if e.kind in ("inject", "enter")
+        ]
+        for a, b in zip(nodes, nodes[1:]):
+            assert a == b or topo.is_adjacent(a, b)
+
+
+def test_format_timeline_readable():
+    sim = traced_run()
+    uid = next(sim.packets())
+    text = sim.format_timeline(uid)
+    assert "inject" in text and "deliver" in text

@@ -1,0 +1,81 @@
+"""Unit tests for the cube-connected cycles topology."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology import CubeConnectedCycles, bfs_distance
+
+
+def test_num_nodes():
+    assert CubeConnectedCycles(3).num_nodes == 24
+    assert CubeConnectedCycles(4).num_nodes == 64
+
+
+def test_rejects_small_n():
+    with pytest.raises(ValueError):
+        CubeConnectedCycles(2)
+
+
+def test_degree_three_everywhere():
+    ccc = CubeConnectedCycles(3)
+    for u in ccc.nodes():
+        nbrs = ccc.neighbors(u)
+        assert len(nbrs) == 3
+        assert len(set(nbrs)) == 3
+
+
+def test_link_kinds():
+    ccc = CubeConnectedCycles(3)
+    u = (0b001, 0)
+    assert ccc.cube_partner(u) == (0b000, 0)
+    assert ccc.cycle_next(u) == (0b001, 1)
+    assert ccc.cycle_prev(u) == (0b001, 2)
+    assert ccc.is_cube_link(u, (0b000, 0))
+    assert ccc.is_cycle_link(u, (0b001, 1))
+    assert not ccc.is_cube_link(u, (0b001, 1))
+
+
+def test_cube_link_uses_position_dimension():
+    ccc = CubeConnectedCycles(4)
+    assert ccc.cube_partner((0b0000, 2)) == (0b0100, 2)
+    assert ccc.cube_partner((0b1111, 0)) == (0b1110, 0)
+
+
+def test_adjacency_symmetric():
+    ccc = CubeConnectedCycles(3)
+    for u in ccc.nodes():
+        for v in ccc.neighbors(u):
+            assert u in ccc.neighbors(v)
+
+
+def test_level_is_cube_weight():
+    ccc = CubeConnectedCycles(3)
+    assert ccc.level((0b101, 2)) == 2
+    assert ccc.level((0b000, 1)) == 0
+
+
+def test_distance_matches_bfs_sample():
+    ccc = CubeConnectedCycles(3)
+    nodes = list(ccc.nodes())
+    for u in nodes[::5]:
+        for v in nodes[::7]:
+            assert ccc.distance(u, v) == bfs_distance(ccc, u, v)
+
+
+def test_validate_passes():
+    CubeConnectedCycles(3).validate()
+    CubeConnectedCycles(4).validate()
+
+
+def test_format_node():
+    assert CubeConnectedCycles(3).format_node((0b101, 2)) == "(101,2)"
+
+
+@given(st.integers(3, 5), st.data())
+def test_cycle_next_prev_inverse(n, data):
+    ccc = CubeConnectedCycles(n)
+    nodes = list(ccc.nodes())
+    u = data.draw(st.sampled_from(nodes))
+    assert ccc.cycle_prev(ccc.cycle_next(u)) == u
+    assert ccc.cube_partner(ccc.cube_partner(u)) == u

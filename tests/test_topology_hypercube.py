@@ -1,0 +1,126 @@
+"""Unit tests for the hypercube topology."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology import Hypercube
+from repro.topology.hypercube import (
+    differing_dimensions,
+    flip_bit,
+    hamming_distance,
+    hamming_weight,
+)
+
+
+def test_num_nodes():
+    assert Hypercube(1).num_nodes == 2
+    assert Hypercube(4).num_nodes == 16
+    assert Hypercube(10).num_nodes == 1024
+
+
+def test_rejects_bad_dimension():
+    with pytest.raises(ValueError):
+        Hypercube(0)
+
+
+def test_nodes_enumeration():
+    assert list(Hypercube(2).nodes()) == [0, 1, 2, 3]
+
+
+def test_neighbors_are_single_bit_flips():
+    cube = Hypercube(3)
+    assert set(cube.neighbors(0b000)) == {0b001, 0b010, 0b100}
+    assert set(cube.neighbors(0b101)) == {0b100, 0b111, 0b001}
+
+
+def test_degree_equals_dimension():
+    for n in range(1, 6):
+        cube = Hypercube(n)
+        for u in cube.nodes():
+            assert len(cube.neighbors(u)) == n
+
+
+def test_adjacency():
+    cube = Hypercube(4)
+    assert cube.is_adjacent(0b0000, 0b0001)
+    assert cube.is_adjacent(0b1010, 0b0010)
+    assert not cube.is_adjacent(0b0000, 0b0011)
+    assert not cube.is_adjacent(0b0101, 0b0101)
+
+
+def test_link_index_is_dimension():
+    cube = Hypercube(4)
+    assert cube.link_index(0b0000, 0b0001) == 0
+    assert cube.link_index(0b0000, 0b1000) == 3
+    assert cube.dimension_of(0b0110, 0b0010) == 2
+
+
+def test_link_index_rejects_non_neighbors():
+    cube = Hypercube(3)
+    with pytest.raises(ValueError):
+        cube.link_index(0, 3)
+    with pytest.raises(ValueError):
+        cube.link_index(5, 5)
+
+
+def test_distance_is_hamming():
+    cube = Hypercube(4)
+    assert cube.distance(0b0000, 0b1111) == 4
+    assert cube.distance(0b1010, 0b1010) == 0
+    assert cube.distance(0b1010, 0b1000) == 1
+
+
+def test_diameter():
+    assert Hypercube(5).diameter == 5
+
+
+def test_level_is_hamming_weight():
+    cube = Hypercube(4)
+    assert cube.level(0b0000) == 0
+    assert cube.level(0b1011) == 3
+
+
+def test_format_node_msb_first():
+    assert Hypercube(4).format_node(0b0101) == "0101"
+
+
+def test_bits_lsb_first():
+    assert Hypercube(4).bits(0b0101) == (1, 0, 1, 0)
+
+
+def test_validate_passes():
+    Hypercube(4).validate()
+
+
+def test_helper_functions():
+    assert flip_bit(0b0101, 1) == 0b0111
+    assert hamming_weight(0b1011) == 3
+    assert hamming_distance(0b1100, 0b1010) == 2
+    assert differing_dimensions(0b1100, 0b1010, 4) == (1, 2)
+
+
+@given(st.integers(2, 7), st.data())
+def test_neighbors_symmetric(n, data):
+    cube = Hypercube(n)
+    u = data.draw(st.integers(0, cube.num_nodes - 1))
+    for v in cube.neighbors(u):
+        assert u in cube.neighbors(v)
+        assert cube.distance(u, v) == 1
+
+
+@given(st.integers(2, 7), st.data())
+def test_distance_triangle_inequality(n, data):
+    cube = Hypercube(n)
+    draw = lambda: data.draw(st.integers(0, cube.num_nodes - 1))
+    a, b, c = draw(), draw(), draw()
+    assert cube.distance(a, c) <= cube.distance(a, b) + cube.distance(b, c)
+    assert cube.distance(a, b) == cube.distance(b, a)
+
+
+@given(st.integers(1, 7), st.data())
+def test_flip_bit_involution(n, data):
+    cube = Hypercube(n)
+    u = data.draw(st.integers(0, cube.num_nodes - 1))
+    i = data.draw(st.integers(0, n - 1))
+    assert flip_bit(flip_bit(u, i), i) == u

@@ -1,0 +1,116 @@
+"""Unit tests for mesh topologies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology import Mesh, Mesh2D
+
+
+def test_num_nodes():
+    assert Mesh((3, 4)).num_nodes == 12
+    assert Mesh2D(5).num_nodes == 25
+    assert Mesh((2, 2, 2)).num_nodes == 8
+
+
+def test_rejects_degenerate_dimensions():
+    with pytest.raises(ValueError):
+        Mesh((1, 4))
+    with pytest.raises(ValueError):
+        Mesh(())
+
+
+def test_nodes_enumeration_row_major():
+    nodes = list(Mesh((2, 2)).nodes())
+    assert nodes == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+def test_interior_corner_edge_degrees():
+    m = Mesh2D(3)
+    assert len(m.neighbors((1, 1))) == 4  # interior
+    assert len(m.neighbors((0, 0))) == 2  # corner
+    assert len(m.neighbors((0, 1))) == 3  # edge
+
+
+def test_neighbors_contents():
+    m = Mesh2D(3)
+    assert set(m.neighbors((1, 1))) == {(0, 1), (2, 1), (1, 0), (1, 2)}
+
+
+def test_adjacency():
+    m = Mesh2D(4)
+    assert m.is_adjacent((0, 0), (0, 1))
+    assert not m.is_adjacent((0, 0), (1, 1))
+    assert not m.is_adjacent((0, 0), (0, 0))
+
+
+def test_distance_manhattan():
+    m = Mesh2D(5)
+    assert m.distance((0, 0), (4, 4)) == 8
+    assert m.distance((2, 3), (2, 3)) == 0
+    assert m.distance((1, 4), (3, 0)) == 6
+
+
+def test_diameter():
+    assert Mesh2D(4).diameter == 6
+    assert Mesh((3, 3, 3)).diameter == 6
+
+
+def test_level():
+    m = Mesh2D(4)
+    assert m.level((0, 0)) == 0
+    assert m.level((3, 2)) == 5
+
+
+def test_step():
+    m = Mesh2D(3)
+    assert m.step((1, 1), 0, +1) == (2, 1)
+    assert m.step((1, 1), 1, -1) == (1, 0)
+    with pytest.raises(ValueError):
+        m.step((0, 0), 0, -1)
+
+
+def test_contains():
+    m = Mesh2D(3)
+    assert m.contains((2, 2))
+    assert not m.contains((3, 0))
+    assert not m.contains((0,))
+
+
+def test_rectangular_mesh():
+    m = Mesh2D(2, 5)
+    assert m.num_nodes == 10
+    assert m.distance((0, 0), (1, 4)) == 5
+
+
+def test_validate_passes():
+    Mesh2D(4).validate()
+    Mesh((2, 3, 2)).validate()
+
+
+def test_link_index_contiguous():
+    m = Mesh2D(3)
+    for u in m.nodes():
+        idx = sorted(m.link_index(u, v) for v in m.neighbors(u))
+        assert idx == list(range(len(m.neighbors(u))))
+
+
+@given(st.integers(2, 5), st.integers(2, 5), st.data())
+def test_neighbors_symmetric(rows, cols, data):
+    m = Mesh2D(rows, cols)
+    nodes = list(m.nodes())
+    u = data.draw(st.sampled_from(nodes))
+    for v in m.neighbors(u):
+        assert u in m.neighbors(v)
+        assert m.distance(u, v) == 1
+
+
+@given(st.integers(2, 5), st.data())
+def test_distance_matches_bfs(rows, data):
+    from repro.topology import bfs_distance
+
+    m = Mesh2D(rows)
+    nodes = list(m.nodes())
+    u = data.draw(st.sampled_from(nodes))
+    v = data.draw(st.sampled_from(nodes))
+    assert m.distance(u, v) == bfs_distance(m, u, v)

@@ -1,0 +1,101 @@
+"""Unit tests for the shuffle-exchange topology."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology import ShuffleExchange, cycle_break_node, rol, ror, shuffle_cycle
+
+
+def test_rotations():
+    assert rol(0b001, 3) == 0b010
+    assert rol(0b100, 3) == 0b001
+    assert ror(0b001, 3) == 0b100
+    assert rol(0b1011, 4) == 0b0111
+
+
+@given(st.integers(2, 8), st.data())
+def test_rol_ror_inverse(n, data):
+    u = data.draw(st.integers(0, (1 << n) - 1))
+    assert ror(rol(u, n), n) == u
+    assert rol(ror(u, n), n) == u
+
+
+@given(st.integers(2, 8), st.data())
+def test_rotation_preserves_weight(n, data):
+    u = data.draw(st.integers(0, (1 << n) - 1))
+    assert bin(rol(u, n)).count("1") == bin(u).count("1")
+
+
+def test_shuffle_cycles_n3():
+    assert shuffle_cycle(0b000, 3) == (0b000,)
+    assert set(shuffle_cycle(0b001, 3)) == {0b001, 0b010, 0b100}
+    assert set(shuffle_cycle(0b011, 3)) == {0b011, 0b110, 0b101}
+    assert shuffle_cycle(0b111, 3) == (0b111,)
+
+
+def test_cycle_break_node_is_minimum():
+    assert cycle_break_node(0b100, 3) == 0b001
+    assert cycle_break_node(0b110, 3) == 0b011
+
+
+def test_neighbors():
+    se = ShuffleExchange(3)
+    # node 000: shuffle is a self-loop, only the exchange link remains.
+    assert set(se.neighbors(0b000)) == {0b001}
+    assert set(se.neighbors(0b001)) == {0b000, 0b010}
+    assert set(se.neighbors(0b101)) == {0b100, 0b011}
+
+
+def test_in_neighbors():
+    se = ShuffleExchange(3)
+    assert set(se.in_neighbors(0b010)) == {0b011, 0b001}
+    assert set(se.in_neighbors(0b000)) == {0b001}
+
+
+def test_link_kinds():
+    se = ShuffleExchange(3)
+    assert se.is_exchange_link(0b010, 0b011)
+    assert se.is_shuffle_link(0b001, 0b010)
+    assert not se.is_shuffle_link(0b000, 0b000)
+    assert se.link_index(0b010, 0b011) == 0
+    assert se.link_index(0b001, 0b010) == 1
+    with pytest.raises(ValueError):
+        se.link_index(0b000, 0b010)
+
+
+def test_distance_small():
+    se = ShuffleExchange(3)
+    assert se.distance(0b000, 0b001) == 1
+    assert se.distance(0b001, 0b010) == 1
+    assert se.distance(0b000, 0b000) == 0
+    # Distances are bounded by ~2n for shuffle-exchange.
+    for u in se.nodes():
+        for v in se.nodes():
+            assert se.distance(u, v) <= 2 * se.n
+
+
+def test_all_cycles_partition_nodes():
+    se = ShuffleExchange(4)
+    cycles = se.all_cycles()
+    seen = [u for cyc in cycles for u in cyc]
+    assert sorted(seen) == list(se.nodes())
+    for cyc in cycles:
+        assert cyc[0] == min(cyc)  # reported from the break node
+
+
+def test_cycle_level_constant_within_cycle():
+    se = ShuffleExchange(5)
+    for cyc in se.all_cycles():
+        levels = {se.cycle_level(u) for u in cyc}
+        assert len(levels) == 1
+
+
+def test_rejects_tiny_n():
+    with pytest.raises(ValueError):
+        ShuffleExchange(1)
+
+
+def test_validate_passes():
+    ShuffleExchange(3).validate()
+    ShuffleExchange(4).validate()

@@ -1,0 +1,92 @@
+"""Unit tests for the torus topology."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology import Torus, bfs_distance
+
+
+def test_num_nodes_and_degree():
+    t = Torus((4, 5))
+    assert t.num_nodes == 20
+    for u in t.nodes():
+        assert len(t.neighbors(u)) == 4
+
+
+def test_rejects_short_rings():
+    with pytest.raises(ValueError):
+        Torus((2, 4))
+
+
+def test_wraparound_adjacency():
+    t = Torus((4, 4))
+    assert t.is_adjacent((0, 0), (3, 0))
+    assert t.is_adjacent((0, 0), (0, 3))
+    assert not t.is_adjacent((0, 0), (2, 0))
+
+
+def test_ring_distance():
+    t = Torus((5, 5))
+    assert t.ring_distance(0, 4, 0) == 1
+    assert t.ring_distance(0, 2, 0) == 2
+    assert t.ring_distance(1, 1, 0) == 0
+
+
+def test_distance_wraps():
+    t = Torus((5, 5))
+    assert t.distance((0, 0), (4, 4)) == 2
+    assert t.distance((0, 0), (2, 2)) == 4
+
+
+def test_diameter():
+    assert Torus((4, 4)).diameter == 4
+    assert Torus((5, 3)).diameter == 3
+
+
+def test_minimal_directions():
+    t = Torus((5, 5))
+    assert t.minimal_directions(0, 1, 0) == (+1,)
+    assert t.minimal_directions(0, 4, 0) == (-1,)
+    assert t.minimal_directions(2, 2, 0) == ()
+    # Diametric tie on an even ring: both directions minimal.
+    t4 = Torus((4, 4))
+    assert set(t4.minimal_directions(0, 2, 0)) == {+1, -1}
+
+
+def test_step_wraps():
+    t = Torus((4, 4))
+    assert t.step((3, 0), 0, +1) == (0, 0)
+    assert t.step((0, 2), 0, -1) == (3, 2)
+
+
+def test_crosses_dateline():
+    t = Torus((4, 4))
+    assert t.crosses_dateline((3, 1), 0, +1)
+    assert t.crosses_dateline((0, 1), 0, -1)
+    assert not t.crosses_dateline((1, 1), 0, +1)
+    with pytest.raises(ValueError):
+        t.crosses_dateline((0, 0), 0, 0)
+
+
+def test_validate_passes():
+    Torus((3, 4)).validate()
+
+
+@given(st.integers(3, 6), st.integers(3, 6), st.data())
+def test_distance_matches_bfs(a, b, data):
+    t = Torus((a, b))
+    nodes = list(t.nodes())
+    u = data.draw(st.sampled_from(nodes))
+    v = data.draw(st.sampled_from(nodes))
+    assert t.distance(u, v) == bfs_distance(t, u, v)
+
+
+@given(st.integers(3, 7), st.data())
+def test_minimal_direction_reduces_distance(s, data):
+    t = Torus((s, s))
+    a = data.draw(st.integers(0, s - 1))
+    b = data.draw(st.integers(0, s - 1))
+    for d in t.minimal_directions(a, b, 0):
+        a2 = (a + d) % s
+        assert t.ring_distance(a2, b, 0) == t.ring_distance(a, b, 0) - 1

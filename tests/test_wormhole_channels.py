@@ -1,0 +1,76 @@
+"""Unit tests for virtual-channel state machines."""
+
+import pytest
+
+from repro.wormhole import ChannelId
+from repro.wormhole.channels import ChannelState
+from repro.wormhole.flit import Worm, reset_worm_ids
+
+
+def make_channel(depth=2):
+    return ChannelState(ChannelId(0, 1, "e"), depth=depth)
+
+
+def test_channel_id_fields():
+    c = ChannelId(3, 5, "adp")
+    assert c.link == (3, 5)
+    assert "3->5" in repr(c)
+
+
+def test_reserve_release_cycle():
+    ch = make_channel()
+    w = Worm(src=0, dst=1, length=2)
+    assert ch.free
+    ch.reserve(w)
+    assert not ch.free and ch.owner is w
+    ch.accept_flit()
+    ch.emit_flit()
+    ch.release()
+    assert ch.free and ch.entered == 0
+
+
+def test_double_reserve_rejected():
+    ch = make_channel()
+    ch.reserve(Worm(src=0, dst=1, length=1))
+    with pytest.raises(RuntimeError):
+        ch.reserve(Worm(src=0, dst=1, length=1))
+
+
+def test_release_nonempty_rejected():
+    ch = make_channel()
+    ch.reserve(Worm(src=0, dst=1, length=1))
+    ch.accept_flit()
+    with pytest.raises(RuntimeError):
+        ch.release()
+
+
+def test_buffer_depth_enforced():
+    ch = make_channel(depth=2)
+    ch.reserve(Worm(src=0, dst=1, length=5))
+    ch.accept_flit()
+    ch.accept_flit()
+    assert not ch.has_space
+    with pytest.raises(RuntimeError):
+        ch.accept_flit()
+
+
+def test_emit_empty_rejected():
+    ch = make_channel()
+    ch.reserve(Worm(src=0, dst=1, length=1))
+    with pytest.raises(RuntimeError):
+        ch.emit_flit()
+
+
+def test_entered_exited_counters():
+    ch = make_channel(depth=1)
+    ch.reserve(Worm(src=0, dst=1, length=3))
+    for _ in range(3):
+        ch.accept_flit()
+        ch.emit_flit()
+    assert ch.entered == 3 and ch.exited == 3 and ch.flits == 0
+
+
+def test_worm_id_reset():
+    reset_worm_ids()
+    assert Worm(src=0, dst=1, length=1).uid == 0
+    assert Worm(src=0, dst=1, length=1).uid == 1

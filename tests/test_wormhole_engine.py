@@ -1,0 +1,180 @@
+"""Flit-level engine tests: pipeline timing, delivery, deadlock."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.queues import QueueId  # noqa: F401  (import sanity)
+from repro.topology import Hypercube, Torus
+from repro.wormhole import (
+    ChannelId,
+    HypercubeAdaptiveWormhole,
+    HypercubeEcubeWormhole,
+    TorusAdaptiveWormhole,
+    Worm,
+    WormholeDeadlockError,
+    WormholeScheme,
+    WormholeSimulator,
+)
+
+
+def single_worm(dst, length, scheme=None, src=0):
+    scheme = scheme or HypercubeAdaptiveWormhole(Hypercube(4))
+    sim = WormholeSimulator(scheme)
+    sim.offer(Worm(src=src, dst=dst, length=length))
+    sim.run()
+    return sim.delivered[0], sim
+
+
+def test_worm_validation():
+    with pytest.raises(ValueError):
+        Worm(src=0, dst=1, length=0)
+
+
+def test_head_latency_is_hops_minus_one():
+    """The header crosses one link per cycle: injection puts it one
+    hop in at cycle 0, so it reaches a distance-h node at cycle h-1."""
+    for dst, h in ((0b0001, 1), (0b0011, 2), (0b1111, 4)):
+        worm, _ = single_worm(dst, length=1)
+        assert worm.head_latency == h - 1
+
+
+def test_tail_latency_pipeline_formula():
+    """Uncontended: tail delivered at h + L - 2 cycles."""
+    for dst, h in ((0b0001, 1), (0b1111, 4)):
+        for L in (1, 4, 8):
+            worm, _ = single_worm(dst, length=L)
+            assert worm.latency == h + L - 2, (h, L)
+
+
+def test_distance_insensitivity():
+    """Worm-hole's motivation: for long worms, latency is dominated by
+    L, not by the distance."""
+    w_near, _ = single_worm(0b0001, length=16)
+    w_far, _ = single_worm(0b1111, length=16)
+    assert w_far.latency - w_near.latency == 3  # h delta only
+
+
+def test_latency_requires_delivery():
+    w = Worm(src=0, dst=1, length=2)
+    with pytest.raises(ValueError):
+        _ = w.latency
+    with pytest.raises(ValueError):
+        _ = w.head_latency
+
+
+def test_all_channels_released_after_run():
+    _, sim = single_worm(0b1111, length=5)
+    for ch in sim.channels.values():
+        assert ch.free and ch.flits == 0
+
+
+def test_complement_all_to_all_delivers():
+    cube = Hypercube(4)
+    sim = WormholeSimulator(HypercubeAdaptiveWormhole(cube))
+    sim.offer_all(
+        Worm(src=u, dst=u ^ 0b1111, length=4) for u in cube.nodes()
+    )
+    sim.run()
+    assert len(sim.delivered) == 16
+    assert sim.latency.count == 16
+
+
+def test_self_destined_worms_dropped():
+    sim = WormholeSimulator(HypercubeAdaptiveWormhole(Hypercube(3)))
+    sim.offer(Worm(src=3, dst=3, length=2))
+    sim.offer(Worm(src=0, dst=7, length=2))
+    sim.run()
+    assert len(sim.delivered) == 1
+
+
+def test_one_injection_per_source_per_cycle():
+    cube = Hypercube(3)
+    sim = WormholeSimulator(HypercubeAdaptiveWormhole(cube))
+    sim.offer_all(Worm(src=0, dst=7, length=1) for _ in range(3))
+    sim.step()
+    assert len(sim.active) == 1
+    assert len(sim.pending) == 2
+
+
+def test_adaptive_beats_dimension_order_on_torus_shift():
+    t = Torus((4, 4))
+    mk = lambda: [
+        Worm(src=u, dst=((u[0] + 2) % 4, (u[1] + 2) % 4), length=3)
+        for u in t.nodes()
+    ]
+    adaptive = WormholeSimulator(TorusAdaptiveWormhole(t))
+    adaptive.offer_all(mk())
+    adaptive.run()
+    dimorder = WormholeSimulator(
+        __import__("repro.wormhole", fromlist=["x"]).TorusDimensionOrderWormhole(t)
+    )
+    dimorder.offer_all(mk())
+    dimorder.run()
+    assert adaptive.latency.mean < dimorder.latency.mean
+
+
+class _RingDeadlock(WormholeScheme):
+    """Single-VC clockwise ring routing: a textbook worm-hole deadlock."""
+
+    name = "ring-deadlock"
+
+    def channel_classes(self, u, v):
+        return ("e",)
+
+    def escape_channels(self, u, dst, state):
+        topo: Torus = self.topology
+        if u == dst:
+            return []
+        return [ChannelId(u, topo.step(u, 0, +1), "e")]
+
+
+def test_engine_watchdog_catches_ring_deadlock():
+    """Four worms around a 4-ring, each two hops from its target and
+    longer than one channel buffer: all four hold their first channel
+    and wait on the next forever."""
+    t = Torus((4, 3))
+    sim = WormholeSimulator(_RingDeadlock(t), channel_depth=1, stall_limit=50)
+    sim.offer_all(
+        Worm(src=(i, 0), dst=((i + 2) % 4, 0), length=8) for i in range(4)
+    )
+    with pytest.raises(WormholeDeadlockError):
+        sim.run(max_cycles=10_000)
+
+
+def test_run_raises_on_cycle_budget():
+    sim = WormholeSimulator(HypercubeAdaptiveWormhole(Hypercube(3)))
+    sim.offer(Worm(src=0, dst=7, length=50))
+    with pytest.raises(RuntimeError):
+        sim.run(max_cycles=3)
+
+
+@settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n=st.integers(2, 4),
+    length=st.integers(1, 6),
+    depth=st.integers(1, 3),
+    seed=st.integers(0, 1000),
+)
+def test_random_worm_population_drains(n, length, depth, seed):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    cube = Hypercube(n)
+    sim = WormholeSimulator(
+        HypercubeAdaptiveWormhole(cube), channel_depth=depth, stall_limit=2000
+    )
+    worms = []
+    for u in cube.nodes():
+        dst = int(rng.integers(cube.num_nodes))
+        if dst != u:
+            worms.append(Worm(src=u, dst=dst, length=length))
+    sim.offer_all(worms)
+    sim.run(max_cycles=100_000)
+    assert len(sim.delivered) == len(worms)
+    for w in sim.delivered:
+        h = cube.distance(w.src, w.dst)
+        assert w.latency >= h + length - 2  # pipeline lower bound

@@ -1,0 +1,119 @@
+"""Unit tests for worm-hole routing schemes."""
+
+import pytest
+
+from repro.topology import Hypercube, Torus
+from repro.wormhole import (
+    ADAPTIVE,
+    ChannelId,
+    HungEscapeHypercubeWormhole,
+    HypercubeAdaptiveWormhole,
+    HypercubeEcubeWormhole,
+    TorusAdaptiveWormhole,
+    TorusDimensionOrderWormhole,
+)
+
+
+def test_requires_matching_topology():
+    with pytest.raises(TypeError):
+        HypercubeAdaptiveWormhole(Torus((3, 3)))
+    with pytest.raises(TypeError):
+        TorusAdaptiveWormhole(Hypercube(3))
+
+
+def test_ecube_single_channel_per_link():
+    s = HypercubeEcubeWormhole(Hypercube(3))
+    assert s.channel_classes(0, 1) == ("e",)
+    # Escape corrects the lowest differing dimension.
+    assert s.escape_channels(0b000, 0b110, None) == [ChannelId(0b000, 0b010, "e")]
+    assert s.candidates(0b000, 0b110, None) == [ChannelId(0b000, 0b010, "e")]
+    assert s.escape_channels(0b110, 0b110, None) == []
+
+
+def test_adaptive_hypercube_channels():
+    s = HypercubeAdaptiveWormhole(Hypercube(3))
+    assert s.channel_classes(0, 1) == ("e", ADAPTIVE)
+    cands = s.candidates(0b001, 0b110, None)
+    # Adaptive channels on every differing dim, then the e-cube escape.
+    adp = [c for c in cands if c.vc == ADAPTIVE]
+    esc = [c for c in cands if c.vc == "e"]
+    assert {c.v for c in adp} == {0b000, 0b011, 0b101}
+    assert esc == [ChannelId(0b001, 0b000, "e")]
+    assert cands[-1].vc == "e"  # escape candidates come last
+
+
+def test_adaptive_channels_all_minimal():
+    cube = Hypercube(4)
+    s = HypercubeAdaptiveWormhole(cube)
+    for u in cube.nodes():
+        for dst in cube.nodes():
+            if u == dst:
+                continue
+            for c in s.candidates(u, dst, None):
+                assert cube.distance(c.v, dst) == cube.distance(u, dst) - 1
+
+
+def test_hung_escape_classes_follow_link_direction():
+    s = HungEscapeHypercubeWormhole(Hypercube(4))
+    assert s.channel_classes(0b0101, 0b0111) == ("eA", ADAPTIVE)
+    assert s.channel_classes(0b0101, 0b0100) == ("eB", ADAPTIVE)
+
+
+def test_torus_dimension_order_state_tracks_datelines():
+    t = Torus((4, 4))
+    s = TorusDimensionOrderWormhole(t)
+    st = s.initial_state((3, 0), (1, 0))
+    assert st == (False, False)
+    # Pre-dateline travel rides the high class...
+    pre = s.escape_channels((2, 0), (1, 0), st)
+    assert pre == []  or pre  # (2,0)->(1,0) goes -x, no dateline here
+    ch0 = s.escape_channels((3, 0), (1, 0), st)[0]
+    # ...and the wrap link itself already uses the low class.
+    assert ch0 == ChannelId((3, 0), (0, 0), "e0")
+    st2 = s.update_state(st, ch0)
+    assert st2 == (True, False)
+    ch2 = s.escape_channels((0, 0), (1, 0), st2)[0]
+    assert ch2.vc == "e0"  # stays low after the dateline
+
+
+def test_torus_high_class_before_dateline():
+    t = Torus((5, 5))
+    s = TorusDimensionOrderWormhole(t)
+    st = s.initial_state((1, 0), (3, 0))
+    ch = s.escape_channels((1, 0), (3, 0), st)[0]
+    assert ch == ChannelId((1, 0), (2, 0), "e1")
+
+
+def test_torus_dimension_order_single_candidate():
+    t = Torus((5, 5))
+    s = TorusDimensionOrderWormhole(t)
+    st = s.initial_state((0, 0), (2, 3))
+    cands = s.candidates((0, 0), (2, 3), st)
+    assert len(cands) == 1  # oblivious: dim 0 first
+    assert cands[0].v == (1, 0)
+
+
+def test_torus_adaptive_candidates_cover_all_minimal_moves():
+    t = Torus((5, 5))
+    s = TorusAdaptiveWormhole(t)
+    st = s.initial_state((0, 0), (2, 3))
+    cands = s.candidates((0, 0), (2, 3), st)
+    adp = {c.v for c in cands if c.vc == ADAPTIVE}
+    assert adp == {(1, 0), (0, 4)}  # +x and -y (minimal directions)
+    assert cands[-1].vc in ("e0", "e1")
+
+
+def test_adaptive_crossing_updates_state_too():
+    t = Torus((4, 4))
+    s = TorusAdaptiveWormhole(t)
+    st = s.initial_state((3, 0), (1, 1))
+    cross = ChannelId((3, 0), (0, 0), ADAPTIVE)
+    assert s.update_state(st, cross) == (True, False)
+
+
+def test_all_channels_enumeration():
+    s = HypercubeAdaptiveWormhole(Hypercube(3))
+    chans = list(s.all_channels())
+    # 8 nodes x 3 out-links x 2 classes.
+    assert len(chans) == 8 * 3 * 2
+    assert len(set(chans)) == len(chans)

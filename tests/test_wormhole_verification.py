@@ -1,0 +1,112 @@
+"""Tests for the extended escape-CDG verifier."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import Hypercube, Torus
+from repro.wormhole import (
+    HungEscapeHypercubeWormhole,
+    HypercubeAdaptiveWormhole,
+    HypercubeEcubeWormhole,
+    TorusAdaptiveWormhole,
+    TorusDimensionOrderWormhole,
+    extended_escape_cdg,
+    verify_wormhole_scheme,
+)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: HypercubeEcubeWormhole(Hypercube(3)),
+        lambda: HypercubeEcubeWormhole(Hypercube(4)),
+        lambda: HypercubeAdaptiveWormhole(Hypercube(3)),
+        lambda: HypercubeAdaptiveWormhole(Hypercube(4)),
+        lambda: TorusDimensionOrderWormhole(Torus((4, 4))),
+        lambda: TorusAdaptiveWormhole(Torus((4, 4))),
+        lambda: TorusAdaptiveWormhole(Torus((3, 5))),
+        lambda: TorusAdaptiveWormhole(Torus((3, 3, 3))),
+    ],
+    ids=lambda mk: mk().name + "/" + mk().topology.name,
+)
+def test_shipped_schemes_verify(make):
+    report = verify_wormhole_scheme(make())
+    assert report.deadlock_free, report.errors
+    assert report.minimal is not False
+
+
+def test_hung_escape_counterexample():
+    """Transplanting the packet scheme's hung escape to worm-hole
+    channels is NOT deadlock free: adaptive 1->0 detours create
+    backward indirect dependencies between eA channels."""
+    report = verify_wormhole_scheme(HungEscapeHypercubeWormhole(Hypercube(3)))
+    assert not report.escape_cdg_acyclic
+    assert any("eA" in e for e in report.errors)
+
+
+def test_cdg_structure_ecube():
+    """E-cube escape dependencies only ascend dimensions."""
+    cube = Hypercube(3)
+    g = extended_escape_cdg(HypercubeEcubeWormhole(cube))
+    for a, b in g.edges():
+        dim_a = cube.link_index(a.u, a.v)
+        dim_b = cube.link_index(b.u, b.v)
+        assert dim_b > dim_a
+
+
+def test_cdg_structure_adaptive_hypercube():
+    """With adaptive detours the escape deps still ascend dimensions
+    (corrected dimensions never become incorrect on minimal routes)."""
+    cube = Hypercube(4)
+    g = extended_escape_cdg(HypercubeAdaptiveWormhole(cube))
+    assert nx.is_directed_acyclic_graph(g)
+    for a, b in g.edges():
+        assert cube.link_index(b.u, b.v) > cube.link_index(a.u, a.v)
+
+
+def test_escape_available_everywhere():
+    report = verify_wormhole_scheme(TorusAdaptiveWormhole(Torus((4, 4))))
+    assert report.escape_available
+
+
+class _NoEscapeNearDst(HypercubeEcubeWormhole):
+    """Broken: no escape offered one hop from the destination."""
+
+    name = "no-escape"
+
+    def escape_channels(self, u, dst, state):
+        if self.topology.distance(u, dst) == 1:
+            return []
+        return super().escape_channels(u, dst, state)
+
+
+def test_missing_escape_detected():
+    report = verify_wormhole_scheme(_NoEscapeNearDst(Hypercube(3)))
+    assert not report.escape_available
+
+
+def test_nonminimal_first_hop_detected():
+    class _Detour(HypercubeEcubeWormhole):
+        name = "detour"
+
+        def escape_channels(self, u, dst, state):
+            from repro.wormhole import ChannelId
+
+            diff = u ^ dst
+            if not diff:
+                return []
+            # Move along a dimension that is already correct.
+            n = self.topology.n
+            for i in range(n):
+                if not (diff >> i) & 1:
+                    return [ChannelId(u, u ^ (1 << i), "e")]
+            return super().escape_channels(u, dst, state)
+
+    report = verify_wormhole_scheme(_Detour(Hypercube(3)))
+    assert report.minimal is False
+
+
+def test_report_summary():
+    report = verify_wormhole_scheme(HypercubeAdaptiveWormhole(Hypercube(3)))
+    s = report.summary()
+    assert "wh-hypercube-adaptive" in s and "FAIL" not in s
