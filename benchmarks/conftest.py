@@ -16,9 +16,41 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments import check_table_shape, run_table, scale_dimensions
+
+
+@pytest.fixture(scope="session", autouse=True)
+def engine_override_smoke():
+    """``REPRO_ENGINE=compiled`` must actually select the compiled engine.
+
+    Benchmarks compare engines through the ``REPRO_ENGINE`` override; a
+    silent fallback to the reference path would invalidate every number
+    without failing anything, so the whole benchmark session aborts if
+    the override does not reach :func:`repro.experiments.build_simulator`.
+    """
+    from repro.experiments import HypercubeExperiment
+    from repro.sim import CompiledPacketSimulator
+
+    saved = os.environ.get("REPRO_ENGINE")
+    os.environ["REPRO_ENGINE"] = "compiled"
+    try:
+        sim = HypercubeExperiment(
+            pattern="random", injection="static"
+        ).build(3)
+        assert type(sim) is CompiledPacketSimulator, (
+            f"REPRO_ENGINE=compiled selected {type(sim).__name__}; "
+            "the engine override is broken"
+        )
+    finally:
+        if saved is None:
+            del os.environ["REPRO_ENGINE"]
+        else:
+            os.environ["REPRO_ENGINE"] = saved
+    yield
 
 
 def bench_paper_table(benchmark, number: int, algorithm_factory=None):

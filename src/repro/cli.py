@@ -90,7 +90,12 @@ VERIFY_CHOICES = (
 
 def cmd_table(args) -> int:
     """``repro table``: regenerate one of the paper's Tables 1-12."""
-    table = run_table(args.number, ns=_parse_ns(args.ns), seed=args.seed)
+    table = run_table(
+        args.number,
+        ns=_parse_ns(args.ns),
+        seed=args.seed,
+        workers=args.workers,
+    )
     print(table.render(with_reference=not args.no_reference))
     return 0
 
@@ -156,6 +161,13 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--ns", help="hypercube dimensions, e.g. '6,8'")
     t.add_argument("--seed", type=int, default=None)
     t.add_argument("--no-reference", action="store_true")
+    t.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan per-n cells out to this many worker processes "
+        "(results are identical to a serial run)",
+    )
     t.set_defaults(fn=cmd_table)
 
     f = sub.add_parser("figure", help="regenerate a paper figure (1-6)")

@@ -1,6 +1,7 @@
 """Experiment harness: scale control, sweeps, and the paper's tables."""
 
 from .paper import PAPER_TABLES, TableSpec, check_table_shape, run_table, table_result
+from .parallel import default_workers, parallel_map
 from .replication import (
     ReplicatedResult,
     ReplicateStats,
@@ -8,8 +9,11 @@ from .replication import (
     replicate,
 )
 from .runner import (
+    ENGINES,
     SCALES,
     HypercubeExperiment,
+    build_simulator,
+    engine_choice,
     experiment_seed,
     scale_dimensions,
 )
@@ -18,7 +22,12 @@ __all__ = [
     "HypercubeExperiment",
     "scale_dimensions",
     "experiment_seed",
+    "build_simulator",
+    "engine_choice",
+    "ENGINES",
     "SCALES",
+    "parallel_map",
+    "default_workers",
     "PAPER_TABLES",
     "TableSpec",
     "run_table",

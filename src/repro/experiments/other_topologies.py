@@ -23,7 +23,6 @@ from ..routing.ccc import CCCAdaptiveRouting
 from ..routing.mesh import Mesh2DAdaptiveRouting
 from ..routing.shuffle_exchange import ShuffleExchangeRouting
 from ..routing.torus import TorusRouting
-from ..sim.engine import PacketSimulator
 from ..sim.injection import DynamicInjection, StaticInjection
 from ..sim.metrics import SimulationResult
 from ..sim.rng import make_rng
@@ -41,6 +40,8 @@ from ..topology.hypercube import Hypercube
 from ..topology.mesh import Mesh2D
 from ..topology.shuffle_exchange import ShuffleExchange
 from ..topology.torus import Torus
+from .parallel import parallel_map
+from .runner import build_simulator
 
 
 class CCCComplementTraffic(PermutationTraffic):
@@ -124,6 +125,7 @@ def run_cell(
     rate: float = 1.0,
     duration: int | None = None,
     seed: int = 12345,
+    engine: str | None = None,
 ) -> SimulationResult:
     """One simulation cell of the extended evaluation."""
     topo = family.build(size)
@@ -144,8 +146,24 @@ def run_cell(
         )
     else:
         raise ValueError(f"unknown injection {injection!r}")
-    sim = PacketSimulator(alg, model)
+    sim = build_simulator(alg, model, engine=engine)
     return sim.run(max_cycles=2_000_000)
+
+
+def _family_cell(
+    cell: tuple[str, int, str, str, int, int, str | None],
+) -> SimulationResult:
+    """Module-level family worker (must be picklable for process pools)."""
+    key, size, pattern, injection, packets, seed, engine = cell
+    return run_cell(
+        FAMILIES[key],
+        size,
+        pattern,
+        injection,
+        packets=packets,
+        seed=seed,
+        engine=engine,
+    )
 
 
 def family_table(
@@ -155,14 +173,23 @@ def family_table(
     sizes: Sequence[int] | None = None,
     packets: int = 1,
     seed: int = 12345,
+    workers: int | None = None,
+    engine: str | None = None,
 ) -> list[dict]:
-    """Paper-style rows for one family/pattern/injection combination."""
+    """Paper-style rows for one family/pattern/injection combination.
+
+    ``workers`` > 1 fans the per-size cells out to a process pool;
+    per-cell RNG derivation keeps the rows identical to a serial run.
+    """
     family = FAMILIES[key]
+    use_sizes = tuple(sizes if sizes is not None else family.sizes)
+    cells = [
+        (key, size, pattern, injection, packets, seed, engine)
+        for size in use_sizes
+    ]
+    results = parallel_map(_family_cell, cells, workers=workers or 1)
     rows = []
-    for size in sizes if sizes is not None else family.sizes:
-        res = run_cell(
-            family, size, pattern, injection, packets=packets, seed=seed
-        )
+    for size, res in zip(use_sizes, results):
         row = {
             "size": size,
             "N": family.build(size).num_nodes,

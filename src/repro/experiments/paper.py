@@ -16,6 +16,7 @@ from typing import Callable, Sequence
 
 from ..analysis.tables import PaperTable, TableRow
 from ..sim.metrics import SimulationResult
+from .parallel import parallel_map
 from .runner import HypercubeExperiment, experiment_seed, scale_dimensions
 
 
@@ -125,13 +126,28 @@ PAPER_TABLES: dict[int, TableSpec] = {
 }
 
 
+def _table_cell(
+    cell: tuple[int, int, int, Callable | None],
+) -> SimulationResult:
+    """Module-level table worker (must be picklable for process pools)."""
+    number, n, seed, algorithm_factory = cell
+    spec = PAPER_TABLES[number]
+    return spec.experiment(n, seed).run(n, algorithm_factory)
+
+
 def run_table(
     number: int,
     ns: Sequence[int] | None = None,
     seed: int | None = None,
     algorithm_factory: Callable | None = None,
+    workers: int | None = None,
 ) -> PaperTable:
-    """Regenerate one of the paper's tables at the configured scale."""
+    """Regenerate one of the paper's tables at the configured scale.
+
+    ``workers`` > 1 fans the per-``n`` cells out to a process pool;
+    each cell seeds its RNG streams independently, so the assembled
+    table is identical to the serial one.
+    """
     spec = PAPER_TABLES[number]
     ns = tuple(ns) if ns is not None else scale_dimensions()
     seed = seed if seed is not None else experiment_seed()
@@ -140,8 +156,9 @@ def run_table(
         dynamic=spec.dynamic,
         reference=spec.reference_rows(),
     )
-    for n in ns:
-        result = spec.experiment(n, seed).run(n, algorithm_factory)
+    cells = [(number, n, seed, algorithm_factory) for n in ns]
+    results = parallel_map(_table_cell, cells, workers=workers or 1)
+    for n, result in zip(ns, results):
         table.add_result(n, result)
     return table
 

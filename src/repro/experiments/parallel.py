@@ -1,0 +1,52 @@
+"""Process-pool fan-out for experiment sweeps.
+
+Every experiment cell derives its RNG streams from
+:func:`repro.sim.rng.make_rng` with a per-cell tag, so cells never
+share mutable random state and can run in any order — including in
+separate processes — without changing a single sampled value.  The
+helpers here exploit that: :func:`parallel_map` preserves the input
+order of the results, which makes a parallel sweep *byte-identical* to
+the serial one (``tests/test_parallel_sweep.py`` asserts this).
+
+Workers default to ``REPRO_WORKERS`` when set, else the CPU count.
+Work functions and their arguments must be picklable: pass named
+functions / classes, not lambdas or closures, when fanning out.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_WORKERS`` when set, else the CPU count."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: int | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items``, optionally via a process pool.
+
+    Results come back in input order.  ``workers=None`` resolves
+    through :func:`default_workers`; ``workers<=1`` (or a single item)
+    runs serially in-process, so callers can thread one knob through
+    unconditionally.
+    """
+    work = list(items)
+    n = default_workers() if workers is None else workers
+    n = min(n, len(work))
+    if n <= 1:
+        return [fn(item) for item in work]
+    with ProcessPoolExecutor(max_workers=n) as pool:
+        return list(pool.map(fn, work))

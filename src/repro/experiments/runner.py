@@ -26,9 +26,10 @@ from ..routing.hypercube import (
     HypercubeAdaptiveRouting,
     HypercubeHungRouting,
 )
+from ..sim.compiled import CompiledPacketSimulator
 from ..sim.engine import PacketSimulator
 from ..sim.fastcube import FastHypercubeSimulator
-from ..sim.injection import DynamicInjection, StaticInjection
+from ..sim.injection import DynamicInjection, InjectionModel, StaticInjection
 from ..sim.metrics import SimulationResult
 from ..sim.rng import make_rng
 from ..sim.traffic import hypercube_pattern
@@ -40,6 +41,70 @@ SCALES: dict[str, tuple[int, ...]] = {
     "large": (7, 8, 9, 10),
     "paper": (10, 11, 12, 13, 14),
 }
+
+#: Engine names accepted by :func:`build_simulator` / ``REPRO_ENGINE``.
+ENGINES: tuple[str, ...] = ("auto", "reference", "compiled", "fast")
+
+
+def engine_choice(default: str = "auto") -> str:
+    """Engine to use, honoring the ``REPRO_ENGINE`` environment override."""
+    name = os.environ.get("REPRO_ENGINE", default).lower()
+    if name not in ENGINES:
+        raise ValueError(
+            f"REPRO_ENGINE={name!r}; expected one of {ENGINES}"
+        )
+    return name
+
+
+def _fast_eligible(algorithm: RoutingAlgorithm) -> bool:
+    return type(algorithm) in (HypercubeAdaptiveRouting, HypercubeHungRouting)
+
+
+#: Keyword arguments the specialized fast engine understands; anything
+#: else (occupancy sampling, tracing, LIFO service, rotating policy)
+#: needs a generic engine.
+_FAST_KWARGS = frozenset({"central_capacity", "stall_limit"})
+
+
+def build_simulator(
+    algorithm: RoutingAlgorithm,
+    model: InjectionModel,
+    engine: str | None = None,
+    **kwargs,
+) -> PacketSimulator:
+    """Construct the requested engine around ``(algorithm, model)``.
+
+    ``engine`` (or, when it is None, the ``REPRO_ENGINE`` environment
+    variable) selects between:
+
+    * ``reference`` — the generic :class:`PacketSimulator`;
+    * ``compiled``  — :class:`CompiledPacketSimulator`, the plan-cache
+      engine (any algorithm, packet-for-packet identical);
+    * ``fast``      — :class:`FastHypercubeSimulator` (raises
+      ``TypeError`` for unsupported algorithms);
+    * ``auto``      — ``fast`` when the algorithm qualifies, otherwise
+      ``compiled``.
+
+    All three subclasses share the reference engine's semantics, so the
+    choice never changes results, only throughput.
+    """
+    name = engine_choice() if engine is None else engine
+    if name not in ENGINES:
+        raise ValueError(f"engine={name!r}; expected one of {ENGINES}")
+    if name == "reference":
+        return PacketSimulator(algorithm, model, **kwargs)
+    if name == "fast":
+        return FastHypercubeSimulator(algorithm, model, **kwargs)
+    if name == "compiled":
+        return CompiledPacketSimulator(algorithm, model, **kwargs)
+    # auto: prefer the specialized engine, fall back to the compiled
+    # generic engine (both are packet-for-packet identical).  Callers
+    # should omit generic-only kwargs they don't need, since their mere
+    # presence (occupancy, tracing, service/policy variants) forces the
+    # generic engine.
+    if _fast_eligible(algorithm) and set(kwargs) <= _FAST_KWARGS:
+        return FastHypercubeSimulator(algorithm, model, **kwargs)
+    return CompiledPacketSimulator(algorithm, model, **kwargs)
 
 
 def scale_dimensions(default: str = "ci") -> tuple[int, ...]:
@@ -91,6 +156,7 @@ class HypercubeExperiment:
         self,
         n: int,
         algorithm_factory: Callable[[Hypercube], RoutingAlgorithm] | None = None,
+        engine: str | None = None,
     ) -> PacketSimulator:
         cube = Hypercube(n)
         factory = algorithm_factory or self.algorithm or HypercubeAdaptiveRouting
@@ -111,36 +177,59 @@ class HypercubeExperiment:
             )
         else:
             raise ValueError(f"unknown injection model {self.injection!r}")
-        # The specialized fast engine is packet-for-packet identical to
-        # the reference engine (tests/test_sim_fastcube.py); use it
-        # whenever the algorithm qualifies and no occupancy sampling is
-        # requested.
-        if not self.collect_occupancy and type(alg) in (
-            HypercubeAdaptiveRouting,
-            HypercubeHungRouting,
-        ):
-            return FastHypercubeSimulator(
-                alg, model, central_capacity=self.central_capacity
-            )
-        return PacketSimulator(
-            alg,
-            model,
-            central_capacity=self.central_capacity,
-            collect_occupancy=self.collect_occupancy,
-        )
+        # Engine selection (tests/test_sim_fastcube.py and
+        # tests/test_sim_compiled.py prove all engines packet-for-packet
+        # identical): REPRO_ENGINE / the engine argument pick one
+        # explicitly; "auto" prefers fast, then compiled.
+        kwargs: dict = {"central_capacity": self.central_capacity}
+        if self.collect_occupancy:
+            kwargs["collect_occupancy"] = True
+        return build_simulator(alg, model, engine=engine, **kwargs)
 
     def run(
         self,
         n: int,
         algorithm_factory: Callable[[Hypercube], RoutingAlgorithm] | None = None,
         max_cycles: int | None = None,
+        engine: str | None = None,
     ) -> SimulationResult:
-        sim = self.build(n, algorithm_factory)
+        sim = self.build(n, algorithm_factory, engine=engine)
         return sim.run(max_cycles=max_cycles)
 
     def sweep(
         self,
         ns: Sequence[int],
         algorithm_factory: Callable[[Hypercube], RoutingAlgorithm] | None = None,
+        workers: int | None = None,
+        engine: str | None = None,
     ) -> dict[int, SimulationResult]:
-        return {n: self.run(n, algorithm_factory) for n in ns}
+        """Run one cell per dimension, optionally fanned out to workers.
+
+        Every cell derives its RNG streams from ``make_rng(seed, tag)``
+        with per-``n`` tags, so the cells are independent and the
+        parallel result is identical to the serial one (asserted by
+        ``tests/test_parallel_sweep.py``).
+        """
+        if workers is not None and workers > 1:
+            from .parallel import parallel_map
+
+            results = parallel_map(
+                _sweep_cell,
+                [(self, n, algorithm_factory, engine) for n in ns],
+                workers=workers,
+            )
+            return dict(zip(ns, results))
+        return {n: self.run(n, algorithm_factory, engine=engine) for n in ns}
+
+
+def _sweep_cell(
+    cell: tuple[
+        "HypercubeExperiment",
+        int,
+        Callable[[Hypercube], RoutingAlgorithm] | None,
+        str | None,
+    ],
+) -> SimulationResult:
+    """Module-level sweep worker (must be picklable for process pools)."""
+    exp, n, algorithm_factory, engine = cell
+    return exp.run(n, algorithm_factory, engine=engine)

@@ -1,8 +1,10 @@
 """Cycle-accurate simulation: engine, injection models, traffic, metrics."""
 
+from .compiled import CompiledPacketSimulator
 from .engine import DeadlockError, PacketSimulator
 from .fastcube import FastHypercubeSimulator
 from .injection import DynamicInjection, InjectionModel, StaticInjection
+from .plans import CentralPlan, RoutingPlanCache
 from .metrics import LatencyStats, SimulationResult
 from .rng import make_rng
 from .trace import TraceEvent, TracingSimulator
@@ -24,7 +26,10 @@ from .traffic import (
 
 __all__ = [
     "PacketSimulator",
+    "CompiledPacketSimulator",
     "FastHypercubeSimulator",
+    "RoutingPlanCache",
+    "CentralPlan",
     "DeadlockError",
     "InjectionModel",
     "StaticInjection",

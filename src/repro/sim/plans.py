@@ -1,0 +1,221 @@
+"""Compiled routing plans: memoized candidate-hop tables.
+
+The generic :class:`~repro.sim.engine.PacketSimulator` re-derives, for
+every queued message in every cycle, the full candidate set the paper's
+node cycle needs: ``static_hops`` / ``dynamic_hops`` (two frozensets of
+freshly-allocated :class:`QueueId` objects), a ``buffer_class`` call per
+external hop, and an ``update_state`` call per move.  Profiling
+(docs/PERFORMANCE.md) attributes ~70% of the engine's inner-loop time to
+exactly this churn.
+
+The routing function, however, is *pure*: every quantity above is a
+deterministic function of ``(queue, destination, state)``.  This module
+memoizes the fully-resolved answer per such key:
+
+* :class:`CentralPlan` — what a message occupying a central queue may do
+  this cycle, split the way the engine consumes it: an ``external``
+  mapping ``(neighbor, buffer_class) -> (next_queue, new_state)`` and an
+  ``internal`` tuple of ``(action, next_queue, new_state)`` steps
+  (delivery / in-place state advance / sibling-queue move);
+* entry resolution — the fold of forced internal phase switches
+  performed by ``PacketSimulator._resolve_entry_queue``;
+* injection plans — the sorted injection targets with their
+  ``update_state`` + entry fold already applied.
+
+Plans are built lazily on first use, so algorithms with unbounded state
+spaces (the shuffle-exchange shuffle counter grows with ``2n``) stay
+correct and merely populate more entries, while bounded-state algorithms
+(hypercube, mesh, torus phase bits) converge to dense tables after the
+first few cycles.  States must be hashable for memoization; unhashable
+states transparently fall back to direct evaluation, preserving the
+generic engine's contract.
+
+The memo dictionaries (``central_memo`` / ``entry_memo`` /
+``inject_memo``) are deliberately exposed: the compiled engine inlines
+``dict.get`` on them in its inner loop and only calls the builder
+methods on a miss.
+
+Everything stored is immutable (tuples, interned :class:`QueueId`), and
+the construction replays the reference engine's iteration orders
+exactly — static hops before dynamic hops, first-wins per
+``(neighbor, class)`` slot — which is what keeps the compiled engine
+packet-for-packet identical to the reference engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, NamedTuple
+
+from ..core.queues import QueueId
+from ..core.routing_function import RoutingAlgorithm
+
+#: Internal-step action codes (see :attr:`CentralPlan.internal`).
+DELIVER_STEP = 0  #: move to the delivery queue
+SELF_STEP = 1  #: degenerate self-hop: state advances in place
+MOVE_STEP = 2  #: move into a sibling central queue (capacity permitting)
+
+
+class CentralPlan(NamedTuple):
+    """Resolved candidate moves for one ``(queue, dst, state)`` key."""
+
+    #: ``(neighbor, buffer_class) -> (next_queue, new_state)``; the
+    #: first candidate per slot wins, statics before dynamics, exactly
+    #: as the reference engine's ``setdefault`` does.
+    external: dict[tuple[Hashable, str], tuple[QueueId, Any]]
+    #: ``(action, next_queue, new_state)`` in reference order.
+    internal: tuple[tuple[int, QueueId, Any], ...]
+
+
+class RoutingPlanCache:
+    """Lazy per-algorithm memo of fully-resolved routing plans.
+
+    One instance is owned by each
+    :class:`~repro.sim.compiled.CompiledPacketSimulator`; sharing one
+    across simulators of the *same* algorithm instance is safe (plans
+    depend only on the pure routing function).
+    """
+
+    def __init__(self, algorithm: RoutingAlgorithm):
+        self.algorithm = algorithm
+        #: ``(queue, dst, state) -> CentralPlan``
+        self.central_memo: dict[tuple, CentralPlan] = {}
+        #: ``(queue, dst, state) -> (resolved_queue, resolved_state)``
+        self.entry_memo: dict[tuple, tuple[QueueId, Any]] = {}
+        #: ``(node, dst, state) -> ((kind, queue, state), ...)``
+        self.inject_memo: dict[tuple, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Statistics (tests, docs)
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total number of memoized plans (all three tables)."""
+        return (
+            len(self.central_memo)
+            + len(self.entry_memo)
+            + len(self.inject_memo)
+        )
+
+    # ------------------------------------------------------------------
+    # Central-queue plans
+    # ------------------------------------------------------------------
+    def central_plan(
+        self, q_id: QueueId, dst: Hashable, state: Any
+    ) -> CentralPlan:
+        """Plan for a message in central queue ``q_id`` (memoized)."""
+        key = (q_id, dst, state)
+        try:
+            plan = self.central_memo.get(key)
+        except TypeError:  # unhashable state: evaluate directly
+            return self._build_central(q_id, dst, state)
+        if plan is None:
+            plan = self.central_memo[key] = self._build_central(
+                q_id, dst, state
+            )
+        return plan
+
+    def _build_central(
+        self, q_id: QueueId, dst: Hashable, state: Any
+    ) -> CentralPlan:
+        alg = self.algorithm
+        u = q_id.node
+        external: dict[tuple[Hashable, str], tuple[QueueId, Any]] = {}
+        internal: list[tuple[int, QueueId, Any]] = []
+        for dyn, hops in (
+            (False, alg.static_hops(q_id, dst, state)),
+            (True, alg.dynamic_hops(q_id, dst, state)),
+        ):
+            for q2 in hops:
+                if q2.node == u:
+                    if q2.is_delivery:
+                        internal.append((DELIVER_STEP, q2, state))
+                    elif q2 == q_id:
+                        internal.append(
+                            (SELF_STEP, q2, alg.update_state(state, q_id, q2))
+                        )
+                    else:
+                        internal.append(
+                            (MOVE_STEP, q2, alg.update_state(state, q_id, q2))
+                        )
+                else:
+                    cls = alg.buffer_class(q_id, q2, dyn)
+                    slot = (q2.node, cls)
+                    if slot not in external:
+                        external[slot] = (
+                            q2,
+                            alg.update_state(state, q_id, q2),
+                        )
+        return CentralPlan(external, tuple(internal))
+
+    # ------------------------------------------------------------------
+    # Queue-entry resolution (the forced-phase-switch fold)
+    # ------------------------------------------------------------------
+    def entry(self, q2: QueueId, dst: Hashable, state: Any) -> tuple[QueueId, Any]:
+        """Where a packet heading for ``q2`` actually lands (memoized).
+
+        Mirrors ``PacketSimulator._resolve_entry_queue``: forced single
+        static internal moves to a sibling central queue are folded into
+        the entry so a phase change costs no extra cycle.
+        """
+        key = (q2, dst, state)
+        try:
+            resolved = self.entry_memo.get(key)
+        except TypeError:
+            return self._resolve_entry(q2, dst, state)
+        if resolved is None:
+            resolved = self.entry_memo[key] = self._resolve_entry(
+                q2, dst, state
+            )
+        return resolved
+
+    def _resolve_entry(
+        self, q2: QueueId, dst: Hashable, state: Any
+    ) -> tuple[QueueId, Any]:
+        alg = self.algorithm
+        for _ in range(8):  # bounded by the internal-chain length
+            if alg.dynamic_hops(q2, dst, state):
+                break
+            nxt = alg.static_hops(q2, dst, state)
+            if len(nxt) != 1:
+                break
+            (q3,) = nxt
+            if q3 == q2 or q3.node != q2.node or not q3.is_central:
+                break
+            state = alg.update_state(state, q2, q3)
+            q2 = q3
+        return q2, state
+
+    # ------------------------------------------------------------------
+    # Injection plans
+    # ------------------------------------------------------------------
+    def injection_plan(
+        self, u: Hashable, dst: Hashable, state: Any
+    ) -> tuple[tuple[str, QueueId, Any], ...]:
+        """Sorted injection targets with state update + entry fold applied.
+
+        Returns ``((kind, resolved_queue, resolved_state), ...)`` in the
+        reference engine's ``sorted(targets)`` order; the engine places
+        the message into the first queue with spare capacity.
+        """
+        key = (u, dst, state)
+        try:
+            plan = self.inject_memo.get(key)
+        except TypeError:
+            return self._build_injection(u, dst, state)
+        if plan is None:
+            plan = self.inject_memo[key] = self._build_injection(
+                u, dst, state
+            )
+        return plan
+
+    def _build_injection(
+        self, u: Hashable, dst: Hashable, state: Any
+    ) -> tuple[tuple[str, QueueId, Any], ...]:
+        alg = self.algorithm
+        inj = QueueId(u, "inj")
+        plan = []
+        for q2 in sorted(alg.injection_targets(u, dst, state)):
+            st = alg.update_state(state, inj, q2)
+            q2r, st = self._resolve_entry(q2, dst, st)
+            plan.append((q2r.kind, q2r, st))
+        return tuple(plan)

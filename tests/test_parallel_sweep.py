@@ -1,0 +1,88 @@
+"""Parallel experiment sweeps must be byte-identical to serial ones.
+
+Every experiment cell derives its RNG streams from
+``make_rng(seed, tag)`` with a per-cell tag, so no mutable random
+state is shared between cells and a process-pool fan-out cannot change
+a single sampled value.  These tests pin that contract: the parallel
+results (and their order) equal the serial ones exactly.
+"""
+
+import pytest
+
+from repro.experiments import (
+    HypercubeExperiment,
+    default_workers,
+    parallel_map,
+    run_table,
+)
+from repro.experiments.other_topologies import family_table
+
+
+def _square(x):
+    return x * x
+
+
+def test_parallel_map_preserves_order():
+    items = list(range(7))
+    assert parallel_map(_square, items, workers=1) == [x * x for x in items]
+    assert parallel_map(_square, items, workers=3) == [x * x for x in items]
+
+
+def test_parallel_map_empty():
+    assert parallel_map(_square, [], workers=4) == []
+
+
+def test_default_workers_env(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "3")
+    assert default_workers() == 3
+    monkeypatch.delenv("REPRO_WORKERS")
+    assert default_workers() >= 1
+
+
+def test_sweep_parallel_identical_static():
+    exp = HypercubeExperiment(pattern="random", injection="static", seed=9)
+    serial = exp.sweep((3, 4))
+    parallel = exp.sweep((3, 4), workers=2)
+    assert list(serial) == list(parallel)
+    for n in serial:
+        assert sorted(serial[n].latency.values) == sorted(
+            parallel[n].latency.values
+        )
+        assert serial[n].cycles == parallel[n].cycles
+        assert serial[n].injected == parallel[n].injected
+
+
+def test_sweep_parallel_identical_dynamic():
+    exp = HypercubeExperiment(
+        pattern="complement", injection="dynamic", rate=0.8, seed=5
+    )
+    serial = exp.sweep((3, 4))
+    parallel = exp.sweep((3, 4), workers=2)
+    for n in serial:
+        assert sorted(serial[n].latency.values) == sorted(
+            parallel[n].latency.values
+        )
+        assert serial[n].attempts == parallel[n].attempts
+        assert serial[n].successes == parallel[n].successes
+
+
+def test_run_table_parallel_identical():
+    serial = run_table(2, ns=(3, 4))
+    parallel = run_table(2, ns=(3, 4), workers=2)
+    assert serial.render() == parallel.render()
+
+
+def test_family_table_parallel_identical():
+    serial = family_table("mesh", "random", "static", sizes=(3, 4))
+    parallel = family_table(
+        "mesh", "random", "static", sizes=(3, 4), workers=2
+    )
+    assert serial == parallel
+
+
+def test_cli_table_workers_flag(capsys):
+    from repro.cli import main
+
+    assert main(["table", "2", "--ns", "3", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
