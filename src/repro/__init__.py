@@ -14,10 +14,12 @@ Public surface
 * :mod:`repro.sim` — the Section-7 cycle-accurate simulator;
 * :mod:`repro.experiments` — the paper's Tables 1-12 as runnable
   experiments;
+* :mod:`repro.faults` — fault injection, the deadlock watchdog, and
+  resilience/degradation experiments (beyond the paper);
 * :mod:`repro.analysis` — table/figure rendering and occupancy studies.
 """
 
-from . import analysis, core, experiments, node, routing, sim, topology
+from . import analysis, core, experiments, faults, node, routing, sim, topology
 
 __version__ = "1.0.0"
 
@@ -25,6 +27,7 @@ __all__ = [
     "analysis",
     "core",
     "experiments",
+    "faults",
     "node",
     "routing",
     "sim",

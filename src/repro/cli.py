@@ -20,6 +20,11 @@ Machine-verify an algorithm instance::
 Trace an offered-load sweep::
 
     python -m repro sweep --n 6 --pattern complement
+
+Run a fault-degradation sweep (beyond the paper; docs/RESILIENCE.md)::
+
+    python -m repro faults --family hypercube --size 5 --counts 0,2,4,8
+    python -m repro faults --family mesh --size 6 --verify
 """
 
 from __future__ import annotations
@@ -134,6 +139,54 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    """``repro faults``: resilience/degradation sweep under link faults."""
+    from .faults import (
+        RESILIENCE_FAMILIES,
+        FaultSchedule,
+        degradation_sweep,
+        verify_under_faults,
+    )
+
+    counts = [int(x) for x in args.counts.replace(",", " ").split()]
+    rows = degradation_sweep(
+        args.family,
+        args.size,
+        counts,
+        seed=args.seed,
+        packets_per_node=args.packets,
+        detour=not args.no_detour,
+        workers=args.workers,
+    )
+    keep = (
+        "failed_links",
+        "delivered",
+        "generated",
+        "delivered_frac",
+        "delivered_of_deliverable",
+        "undeliverable",
+        "L_avg",
+        "latency_x",
+        "reroute_overhead",
+        "cycles",
+    )
+    print(format_rows([{k: r[k] for k in keep if k in r} for r in rows]))
+    if args.verify:
+        build, make_alg = RESILIENCE_FAMILIES[args.family]
+        topo = build(args.size)
+        worst = max(c for c in counts + [0])
+        if worst:
+            schedule = FaultSchedule.random_links(topo, worst, args.seed)
+        else:
+            schedule = FaultSchedule.healthy(topo)
+        fv = verify_under_faults(make_alg(topo), schedule.final)
+        print()
+        print("verify under faults:", fv.summary())
+        for err in fv.report.errors[:10]:
+            print("  !", err)
+    return 0
+
+
 def cmd_report(args) -> int:
     """``repro report``: emit the full Markdown reproduction report."""
     from .analysis.report import full_report
@@ -188,6 +241,30 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--rates", default="0.1,0.25,0.5,0.75,1.0")
     s.add_argument("--seed", type=int, default=0)
     s.set_defaults(fn=cmd_sweep)
+
+    ft = sub.add_parser(
+        "faults",
+        help="fault-degradation sweep: delivery/latency vs failed links",
+    )
+    ft.add_argument(
+        "--family", choices=("hypercube", "mesh"), default="hypercube"
+    )
+    ft.add_argument(
+        "--size", type=int, default=4,
+        help="hypercube dimension or mesh side length",
+    )
+    ft.add_argument("--counts", default="0,1,2,4",
+                    help="failed-link counts, e.g. '0,2,4,8'")
+    ft.add_argument("--packets", type=int, default=1,
+                    help="static packets per node")
+    ft.add_argument("--seed", type=int, default=12345)
+    ft.add_argument("--no-detour", action="store_true",
+                    help="filter faulty hops but never detour")
+    ft.add_argument("--workers", type=int, default=None)
+    ft.add_argument("--verify", action="store_true",
+                    help="also re-verify Section-2 conditions at the "
+                    "largest fault set (expect honest failures)")
+    ft.set_defaults(fn=cmd_faults)
 
     r = sub.add_parser(
         "report", help="regenerate every table/figure as one Markdown report"

@@ -1,0 +1,378 @@
+"""Fault models: seeded, reproducible link/node failure schedules.
+
+The paper proves deadlock freedom for a *healthy* network; this module
+(and the rest of :mod:`repro.faults`) asks what happens when the
+network degrades.  Three fault kinds are modeled:
+
+* **permanent link-down** — a directed physical link stops carrying
+  traffic from its onset cycle onward.  The routing adapter
+  (:class:`~repro.faults.adapters.FaultAwareRouting`) stops offering it
+  and the link cycle stops transferring over it;
+* **permanent node-down** — the node freezes: it neither routes nor
+  injects, every incident directed link (both directions) goes down
+  with it, and packets stored inside it are lost;
+* **transient link-stall** — the link transfers nothing during a
+  bounded window but remains part of the routing function; committed
+  packets simply wait it out while adaptive traffic naturally prefers
+  other output buffers.
+
+A :class:`FaultSchedule` is a *pure, reproducible* timeline: it is
+built from an explicit fault list (scripted timeline), a fixed set
+(everything down from cycle 0), or a seeded Bernoulli draw over links,
+and resolves any cycle to an immutable :class:`FaultSet` epoch.  Two
+schedules built from the same arguments produce identical epochs, so
+fault experiments replay exactly — the property the cross-engine tests
+(`tests/test_faults_engines.py`) rely on.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from ..sim.rng import make_rng
+from ..topology.base import Topology
+
+#: Fault kinds.
+LINK_DOWN = "link-down"
+NODE_DOWN = "node-down"
+LINK_STALL = "link-stall"
+
+_KINDS = (LINK_DOWN, NODE_DOWN, LINK_STALL)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault event on the timeline.
+
+    ``target`` is a directed link ``(u, v)`` for link faults or a node
+    for node faults.  ``start`` is the first cycle the fault is active;
+    ``end`` (exclusive) is the recovery cycle, ``None`` for permanent
+    faults.  Link stalls must be bounded; link/node downs must be
+    permanent (a repaired permanent fault would need state retraction
+    semantics the adapter deliberately does not promise).
+    """
+
+    kind: str
+    target: Hashable
+    start: int = 0
+    end: int | None = None
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind == LINK_STALL and self.end is None:
+            raise ValueError("a link stall needs an end cycle")
+        if self.kind in (LINK_DOWN, NODE_DOWN) and self.end is not None:
+            raise ValueError(f"{self.kind} faults are permanent (end=None)")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("fault end must be after its start")
+
+    def active_at(self, cycle: int) -> bool:
+        return cycle >= self.start and (self.end is None or cycle < self.end)
+
+
+def link_down(u: Hashable, v: Hashable, at: int = 0) -> list[Fault]:
+    """Permanent bidirectional link failure (both directed channels)."""
+    return [
+        Fault(LINK_DOWN, (u, v), start=at),
+        Fault(LINK_DOWN, (v, u), start=at),
+    ]
+
+
+def directed_link_down(u: Hashable, v: Hashable, at: int = 0) -> list[Fault]:
+    """Permanent failure of the single directed channel ``u -> v``."""
+    return [Fault(LINK_DOWN, (u, v), start=at)]
+
+
+def node_down(u: Hashable, at: int = 0) -> list[Fault]:
+    """Permanent node failure (fail-stop)."""
+    return [Fault(NODE_DOWN, u, start=at)]
+
+
+def link_stall(
+    u: Hashable, v: Hashable, at: int, until: int
+) -> list[Fault]:
+    """Transient bidirectional stall over ``[at, until)``."""
+    return [
+        Fault(LINK_STALL, (u, v), start=at, end=until),
+        Fault(LINK_STALL, (v, u), start=at, end=until),
+    ]
+
+
+class FaultSet:
+    """Immutable snapshot of everything broken during one epoch.
+
+    ``dead_links`` / ``dead_nodes`` are the permanent failures the
+    routing adapter filters against; ``stalled_links`` only block the
+    link cycle.  Reachability queries ("can ``u`` still reach ``dst``
+    over live links?") are memoized per destination — one reverse BFS
+    each — because the adapter consults them on every hop evaluation of
+    a degraded run.
+    """
+
+    __slots__ = ("dead_links", "dead_nodes", "stalled_links", "_reach", "_dist")
+
+    def __init__(
+        self,
+        dead_links: Iterable[tuple] = (),
+        dead_nodes: Iterable[Hashable] = (),
+        stalled_links: Iterable[tuple] = (),
+    ):
+        self.dead_links: frozenset = frozenset(dead_links)
+        self.dead_nodes: frozenset = frozenset(dead_nodes)
+        self.stalled_links: frozenset = frozenset(stalled_links)
+        self._reach: dict[Hashable, frozenset] = {}
+        self._dist: dict[Hashable, dict[Hashable, int]] = {}
+
+    @property
+    def any(self) -> bool:
+        """Whether this epoch degrades routing at all (stalls excluded:
+        they delay packets but never change the routing function)."""
+        return bool(self.dead_links or self.dead_nodes)
+
+    @property
+    def blocked_links(self) -> frozenset:
+        """Directed links the link cycle must not serve this epoch."""
+        return self.dead_links | self.stalled_links
+
+    def link_alive(self, u: Hashable, v: Hashable) -> bool:
+        return (
+            (u, v) not in self.dead_links
+            and u not in self.dead_nodes
+            and v not in self.dead_nodes
+        )
+
+    def distances(
+        self, topology: Topology, dst: Hashable
+    ) -> dict[Hashable, int]:
+        """Hop distance to ``dst`` over *live* links, per reaching node.
+
+        Reverse BFS over the faulted physical network; ``dst`` maps to
+        0, nodes with no live route are absent, and the map is empty
+        when ``dst`` is down.  This faulted metric is what detours
+        steer by — the healthy distance can point into a pocket whose
+        only minimal exit is dead and ping-pong forever.
+        """
+        cached = self._dist.get(dst)
+        if cached is not None:
+            return cached
+        dist: dict[Hashable, int] = {}
+        if dst not in self.dead_nodes:
+            dist[dst] = 0
+            frontier = [dst]
+            while frontier:
+                nxt: list[Hashable] = []
+                for u in frontier:
+                    d = dist[u] + 1
+                    for x in topology.in_neighbors(u):
+                        if x in dist or x in self.dead_nodes:
+                            continue
+                        if (x, u) in self.dead_links:
+                            continue
+                        dist[x] = d
+                        nxt.append(x)
+                frontier = nxt
+        self._dist[dst] = dist
+        return dist
+
+    def reachable(self, topology: Topology, dst: Hashable) -> frozenset:
+        """Nodes that can still reach ``dst`` over live links.
+
+        Derived from :meth:`distances`; includes ``dst`` itself, and is
+        empty when ``dst`` is down.  Ignores buffer-class constraints
+        (a class-starved route is possible in principle but did not
+        occur on any tested topology; the runtime watchdog is the
+        honest guard either way).
+        """
+        cached = self._reach.get(dst)
+        if cached is not None:
+            return cached
+        out = frozenset(self.distances(topology, dst))
+        self._reach[dst] = out
+        return out
+
+    def describe(self) -> str:
+        parts = []
+        if self.dead_nodes:
+            parts.append(f"{len(self.dead_nodes)} node(s) down")
+        if self.dead_links:
+            parts.append(f"{len(self.dead_links)} directed link(s) down")
+        if self.stalled_links:
+            parts.append(f"{len(self.stalled_links)} link(s) stalled")
+        return ", ".join(parts) or "healthy"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<FaultSet {self.describe()}>"
+
+
+#: The healthy epoch: shared so `fs is EMPTY_FAULTS` checks are cheap.
+EMPTY_FAULTS = FaultSet()
+
+
+class FaultSchedule:
+    """A reproducible fault timeline over one topology.
+
+    Epochs are precomputed at construction: ``at(cycle)`` is a bisect
+    into a handful of immutable :class:`FaultSet` instances, so the
+    per-cycle fault hook costs nothing measurable.  Node-down faults
+    expand to the node plus all of its incident directed links.
+    """
+
+    def __init__(self, topology: Topology, faults: Iterable[Fault] = ()):
+        self.topology = topology
+        self.faults: tuple[Fault, ...] = tuple(faults)
+        for f in self.faults:
+            self._validate(f)
+        times = {0}
+        for f in self.faults:
+            times.add(f.start)
+            if f.end is not None:
+                times.add(f.end)
+        self._starts: list[int] = sorted(times)
+        self._epochs: list[FaultSet] = [
+            self._build_epoch(t) for t in self._starts
+        ]
+
+    def _validate(self, f: Fault) -> None:
+        topo = self.topology
+        if f.kind == NODE_DOWN:
+            if f.target not in set(topo.nodes()):
+                raise ValueError(f"node fault on unknown node {f.target!r}")
+        else:
+            u, v = f.target
+            if not topo.is_adjacent(u, v):
+                raise ValueError(
+                    f"link fault on non-existent link {u!r} -> {v!r}"
+                )
+
+    def _build_epoch(self, cycle: int) -> FaultSet:
+        dead_links: set[tuple] = set()
+        dead_nodes: set[Hashable] = set()
+        stalled: set[tuple] = set()
+        topo = self.topology
+        for f in self.faults:
+            if not f.active_at(cycle):
+                continue
+            if f.kind == LINK_DOWN:
+                dead_links.add(f.target)
+            elif f.kind == LINK_STALL:
+                stalled.add(f.target)
+            else:  # NODE_DOWN: the node and every incident channel
+                u = f.target
+                dead_nodes.add(u)
+                for v in topo.neighbors(u):
+                    dead_links.add((u, v))
+                for x in topo.in_neighbors(u):
+                    dead_links.add((x, u))
+        if not (dead_links or dead_nodes or stalled):
+            return EMPTY_FAULTS
+        return FaultSet(dead_links, dead_nodes, stalled)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def at(self, cycle: int) -> FaultSet:
+        """The active epoch at ``cycle`` (immutable, shared)."""
+        i = bisect_right(self._starts, cycle) - 1
+        return self._epochs[i if i >= 0 else 0]
+
+    def next_change_after(self, cycle: int) -> int | None:
+        """The next epoch boundary strictly after ``cycle``, if any."""
+        i = bisect_right(self._starts, cycle)
+        return self._starts[i] if i < len(self._starts) else None
+
+    @property
+    def final(self) -> FaultSet:
+        """The last epoch (all permanent faults active, stalls over)."""
+        return self._epochs[-1]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.faults
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<FaultSchedule {len(self.faults)} fault(s), "
+            f"{len(self._epochs)} epoch(s) on {self.topology.name}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def healthy(cls, topology: Topology) -> "FaultSchedule":
+        """The empty schedule (useful as a pass-through control)."""
+        return cls(topology, ())
+
+    @classmethod
+    def fixed(
+        cls, topology: Topology, faults: Iterable[Fault | Sequence[Fault]]
+    ) -> "FaultSchedule":
+        """Scripted timeline; accepts the helper functions' fault lists."""
+        flat: list[Fault] = []
+        for f in faults:
+            if isinstance(f, Fault):
+                flat.append(f)
+            else:
+                flat.extend(f)
+        return cls(topology, flat)
+
+    @classmethod
+    def bernoulli_links(
+        cls,
+        topology: Topology,
+        rate: float,
+        seed: int,
+        onset_max: int = 0,
+    ) -> "FaultSchedule":
+        """Each undirected link independently fails (both directions,
+        permanently) with probability ``rate``; onset cycles are drawn
+        uniformly from ``[0, onset_max]``.  Fully determined by
+        ``(topology, rate, seed)`` via the repo's seed-derivation
+        scheme, so every replica sees the same fault set.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        rng = make_rng(seed, f"faults-{topology.name}")
+        undirected = sorted(
+            {tuple(sorted((u, v), key=repr)) for u, v in topology.links()},
+            key=repr,
+        )
+        faults: list[Fault] = []
+        for u, v in undirected:
+            if rng.random() < rate:
+                at = int(rng.integers(0, onset_max + 1))
+                faults.extend(link_down(u, v, at=at))
+        return cls(topology, faults)
+
+    @classmethod
+    def random_links(
+        cls,
+        topology: Topology,
+        count: int,
+        seed: int,
+        onset: int = 0,
+    ) -> "FaultSchedule":
+        """Exactly ``count`` distinct undirected links down at ``onset``.
+
+        The sampled-count twin of :meth:`bernoulli_links`, used by the
+        degradation sweeps where the x-axis is "number of failed links".
+        """
+        rng = make_rng(seed, f"faults-{topology.name}")
+        undirected = sorted(
+            {tuple(sorted((u, v), key=repr)) for u, v in topology.links()},
+            key=repr,
+        )
+        if count > len(undirected):
+            raise ValueError(
+                f"asked for {count} faulty links; topology has only "
+                f"{len(undirected)}"
+            )
+        picks = rng.choice(len(undirected), size=count, replace=False)
+        faults: list[Fault] = []
+        for i in sorted(int(p) for p in picks):
+            u, v = undirected[i]
+            faults.extend(link_down(u, v, at=onset))
+        return cls(topology, faults)

@@ -1,7 +1,12 @@
 """Cycle-accurate simulation: engine, injection models, traffic, metrics."""
 
 from .compiled import CompiledPacketSimulator
-from .engine import DeadlockError, PacketSimulator
+from .engine import (
+    CycleLimitExceeded,
+    DeadlockError,
+    PacketSimulator,
+    SimulationHalt,
+)
 from .fastcube import FastHypercubeSimulator
 from .injection import DynamicInjection, InjectionModel, StaticInjection
 from .plans import CentralPlan, RoutingPlanCache
@@ -31,6 +36,8 @@ __all__ = [
     "RoutingPlanCache",
     "CentralPlan",
     "DeadlockError",
+    "CycleLimitExceeded",
+    "SimulationHalt",
     "InjectionModel",
     "StaticInjection",
     "DynamicInjection",

@@ -319,12 +319,42 @@ class CompiledPacketSimulator(PacketSimulator):
                     queues[q2.kind].append(msg)
                     self._last_progress = self.cycle
 
+    def invalidate_plans(self) -> None:
+        """Drop every memoized routing plan (fault-epoch transitions).
+
+        The plan memos are pure functions of ``(queue, dst, state)``
+        only while the routing function itself is fixed; a
+        :class:`~repro.faults.adapters.FaultAwareRouting` adapter whose
+        live fault set just changed invalidates all of them.  Fault
+        transitions are rare, so a full rebuild is cheaper than
+        epoch-tagging every hot-path key.
+        """
+        self._fill_memo.clear()
+        self.plan_cache = RoutingPlanCache(self.algorithm)
+        for u in self.nodes:
+            for q in self.central[u].values():
+                for msg in q:
+                    msg.plan_sig = None
+                    msg.plan = None
+            msg = self.inj[u]
+            if msg is not None:
+                msg.plan_sig = None
+                msg.plan = None
+        for buf in (self.out_buf, self.in_buf):
+            for msg in buf.values():
+                if msg is not None:
+                    msg.plan_sig = None
+                    msg.plan = None
+
     # -- link cycle --------------------------------------------------------
     def _link_cycle(self) -> None:
         cycle = self.cycle
         out_buf = self.out_buf
         in_buf = self.in_buf
+        blocked = self.blocked_links
         for rots in self._link_rot:
+            if blocked and rots[0][0][:2] in blocked:
+                continue  # dead or stalled link: transfers nothing
             keys = rots[cycle % len(rots)] if len(rots) > 1 else rots[0]
             for key in keys:
                 msg = out_buf[key]

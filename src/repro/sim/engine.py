@@ -44,6 +44,31 @@ class DeadlockError(RuntimeError):
     """Raised when no packet makes progress for ``stall_limit`` cycles."""
 
 
+class CycleLimitExceeded(RuntimeError):
+    """Raised when :meth:`PacketSimulator.run` hits its ``max_cycles`` cap.
+
+    Distinct from :class:`DeadlockError`: the network may still be
+    making (slow) progress, it just did not finish within the budget.
+    """
+
+
+class SimulationHalt(Exception):
+    """Control-flow signal: an observer asks the run to stop gracefully.
+
+    Raised by observers (e.g. the fault watchdog in
+    :mod:`repro.faults.watchdog`) when continuing is pointless — every
+    remaining packet is provably undeliverable under the current fault
+    set — but the partial result is still meaningful.  ``run`` catches
+    it and finalizes the :class:`SimulationResult` with ``halt`` set.
+    """
+
+    def __init__(self, reason: str, report=None, undeliverable: int = 0):
+        super().__init__(reason)
+        self.reason = reason
+        self.report = report
+        self.undeliverable = undeliverable
+
+
 class PacketSimulator:
     """Simulates one routing algorithm under one injection model."""
 
@@ -129,6 +154,24 @@ class PacketSimulator:
         self.latency = LatencyStats()
         self.measure_from = getattr(injection, "warmup", 0)
         self._last_progress = 0
+        #: Cycle observers (duck-typed): ``on_cycle(sim, cycle)`` runs
+        #: at the start of every routing cycle; an optional
+        #: ``on_stall(sim) -> bool`` is consulted before the engine
+        #: raises :class:`DeadlockError` (return True to suppress, or
+        #: raise :class:`SimulationHalt` / a richer error instead).
+        #: Empty by default, so the healthy hot path is untouched.
+        self.observers: list = []
+        #: Live fault state (owned by :class:`repro.faults.adapters.FaultInjector`).
+        #: ``dead_nodes`` freeze a node's whole node cycle and block its
+        #: injection queue; ``blocked_links`` (dead + stalled directed
+        #: links) transfer nothing during the link cycle.  Both empty in
+        #: a healthy run, where every guard short-circuits.
+        self.dead_nodes: frozenset = frozenset()
+        self.blocked_links: frozenset = frozenset()
+        #: When set to a list (see ``repro.faults.experiments``), every
+        #: delivered message object is appended to it, which is what
+        #: reroute-overhead accounting reads traced hops from.
+        self.delivered_messages: list | None = None
         self.occupancy_sum: dict[tuple[Hashable, str], int] = {}
         self.occupancy_peak: dict[tuple[Hashable, str], int] = {}
         self.occupancy_samples = 0
@@ -137,7 +180,13 @@ class PacketSimulator:
     # Injection-model interface
     # ------------------------------------------------------------------
     def injection_queue_free(self, u: Hashable) -> bool:
+        if self.dead_nodes and u in self.dead_nodes:
+            return False  # a down node generates nothing
         return self.inj[u] is None
+
+    def add_observer(self, observer) -> None:
+        """Attach a cycle observer (fault injector, watchdog, ...)."""
+        self.observers.append(observer)
 
     def place_in_injection_queue(
         self, u: Hashable, msg: Message, cycle: int
@@ -157,11 +206,23 @@ class PacketSimulator:
     # ------------------------------------------------------------------
     def step(self) -> None:
         cycle = self.cycle
+        if self.observers:
+            for obs in self.observers:
+                obs.on_cycle(self, cycle)
         self.injection.attempt(self, cycle)
-        for u in self.nodes:
-            self._node_fill_output_buffers(u)
-        for u in self.nodes:
-            self._node_read_inputs(u)
+        dead = self.dead_nodes
+        if dead:
+            for u in self.nodes:
+                if u not in dead:
+                    self._node_fill_output_buffers(u)
+            for u in self.nodes:
+                if u not in dead:
+                    self._node_read_inputs(u)
+        else:
+            for u in self.nodes:
+                self._node_fill_output_buffers(u)
+            for u in self.nodes:
+                self._node_read_inputs(u)
         self._link_cycle()
         if self.collect_occupancy and cycle % self.occupancy_sample_every == 0:
             self._sample_occupancy()
@@ -170,11 +231,26 @@ class PacketSimulator:
             self.active > 0
             and self.cycle - self._last_progress > self.stall_limit
         ):
-            raise DeadlockError(
-                f"no progress for {self.stall_limit} cycles at cycle "
-                f"{self.cycle} with {self.active} active packets "
-                f"({self.algorithm.name})"
-            )
+            self._on_stall()
+
+    def _on_stall(self) -> None:
+        """No packet moved for ``stall_limit`` cycles.
+
+        Observers get the first say: a fault injector may suppress the
+        alarm because a scheduled fault transition is still ahead, and
+        the deadlock watchdog raises a structured
+        :class:`~repro.faults.watchdog.DeadlockDetected` (or a graceful
+        :class:`SimulationHalt`) instead of the bare error below.
+        """
+        for obs in self.observers:
+            handler = getattr(obs, "on_stall", None)
+            if handler is not None and handler(self):
+                return  # handled: keep running
+        raise DeadlockError(
+            f"no progress for {self.stall_limit} cycles at cycle "
+            f"{self.cycle} with {self.active} active packets "
+            f"({self.algorithm.name})"
+        )
 
     # -- node cycle, part 1: queues -> output buffers + internal moves ----
     def _node_fill_output_buffers(self, u: Hashable) -> None:
@@ -333,7 +409,10 @@ class PacketSimulator:
     # -- link cycle --------------------------------------------------------
     def _link_cycle(self) -> None:
         cycle = self.cycle
+        blocked = self.blocked_links
         for link, classes in self.link_classes.items():
+            if blocked and link in blocked:
+                continue  # dead or stalled link: transfers nothing
             if len(classes) == 1:
                 order = classes
             else:
@@ -355,6 +434,8 @@ class PacketSimulator:
         self._last_progress = self.cycle
         if msg.injected_cycle >= self.measure_from:
             self.latency.record(msg.latency)
+        if self.delivered_messages is not None:
+            self.delivered_messages.append(msg)
 
     def _sample_occupancy(self) -> None:
         self.occupancy_samples += 1
@@ -377,18 +458,33 @@ class PacketSimulator:
     # Full runs
     # ------------------------------------------------------------------
     def run(self, max_cycles: int | None = None) -> SimulationResult:
-        """Run until the injection model reports completion."""
+        """Run until the injection model reports completion.
+
+        ``max_cycles`` is a hard safety cap (default 10M): exceeding it
+        raises :class:`CycleLimitExceeded` with the in-flight packet
+        count instead of looping forever.  A :class:`SimulationHalt`
+        raised by an observer (e.g. the fault watchdog deciding every
+        remaining packet is undeliverable) ends the run gracefully and
+        is recorded on the result instead of propagating.
+        """
         self.injection.setup(self)
         limit = max_cycles if max_cycles is not None else 10_000_000
-        while self.cycle < limit:
-            self.step()
-            if self.injection.finished(self, self.cycle - 1):
-                break
-        else:
-            raise RuntimeError(
-                f"simulation exceeded {limit} cycles "
-                f"({self.active} packets still active)"
-            )
+        halt: SimulationHalt | None = None
+        try:
+            while self.cycle < limit:
+                self.step()
+                if self.injection.finished(self, self.cycle - 1):
+                    break
+            else:
+                raise CycleLimitExceeded(
+                    f"simulation exceeded {limit} cycles with no end in "
+                    f"sight: {self.active} of {self.injected_count} "
+                    f"injected packets still in flight "
+                    f"({self.algorithm.name}; raise max_cycles or check "
+                    "for livelock)"
+                )
+        except SimulationHalt as h:
+            halt = h
         occupancy = {}
         if self.collect_occupancy:
             occupancy = {
@@ -410,4 +506,6 @@ class PacketSimulator:
             successes=getattr(self.injection, "successes", 0),
             undelivered=self.active,
             occupancy=occupancy,
+            halt=halt.reason if halt is not None else None,
+            undeliverable=halt.undeliverable if halt is not None else 0,
         )

@@ -69,6 +69,13 @@ class SimulationResult:
     undelivered: int = 0
     occupancy: dict = field(default_factory=dict)
     seed: int | None = None
+    #: Number of packets a fault watchdog classified as undeliverable
+    #: (destination unreachable under the active fault set, or frozen
+    #: inside a down node).  0 for healthy runs.
+    undeliverable: int = 0
+    #: Reason string when the run was stopped gracefully by an observer
+    #: (see :class:`repro.sim.engine.SimulationHalt`); None otherwise.
+    halt: str | None = None
 
     @property
     def l_avg(self) -> float:
@@ -94,6 +101,19 @@ class SimulationResult:
             return 0.0
         return self.delivered / self.cycles
 
+    @property
+    def delivered_fraction(self) -> float:
+        """Fraction of injected packets that reached their destination.
+
+        1.0 for a healthy completed run; < 1.0 when packets were still
+        in flight at the end of a fixed-duration run or when faults made
+        some packets undeliverable.  Defined as 1.0 when nothing was
+        injected (an empty run is vacuously complete).
+        """
+        if self.injected == 0:
+            return 1.0
+        return self.delivered / self.injected
+
     def row(self) -> dict:
         """Flat dict for table rendering."""
         out = {
@@ -102,8 +122,12 @@ class SimulationResult:
             "L_avg": round(self.l_avg, 2),
             "L_max": self.l_max,
             "delivered": self.delivered,
+            "delivered_frac": round(self.delivered_fraction, 4),
+            "in_flight": self.undelivered,
             "cycles": self.cycles,
         }
+        if self.undeliverable:
+            out["undeliverable"] = self.undeliverable
         if self.attempts:
             out["I_r(%)"] = round(100.0 * self.injection_rate, 1)
         return out

@@ -72,3 +72,18 @@ def test_cli_report_to_file(tmp_path, monkeypatch, capsys):
     assert "# Reproduction report" in text
     assert "Table 2" in text and "Other topologies" in text
     assert "written" in capsys.readouterr().out
+
+
+def test_cli_faults_sweep(capsys):
+    assert main(["faults", "--family", "hypercube", "--size", "3",
+                 "--counts", "0,2", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "failed_links" in out and "delivered_of_deliverable" in out
+    assert "reroute_overhead" in out
+
+
+def test_cli_faults_verify(capsys):
+    assert main(["faults", "--family", "hypercube", "--size", "3",
+                 "--counts", "0,1", "--seed", "7", "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "verify under faults" in out.lower()

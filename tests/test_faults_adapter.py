@@ -1,0 +1,185 @@
+"""The fault-aware routing adapter.
+
+The two properties that matter most:
+
+1. **Zero overhead when healthy** — with an empty fault set the adapter
+   returns the inner algorithm's hop sets *unchanged* (the very same
+   frozensets), for every queue, destination, and state (hypothesis
+   property below).
+2. **Honesty when degraded** — dead hops are withheld, unreachable
+   destinations park, detours are class-realizable, and
+   :func:`verify_under_faults` reports the broken guarantees instead of
+   pretending the paper's theorems still apply.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QueueId, verify_algorithm
+from repro.faults import (
+    EMPTY_FAULTS,
+    FaultAwareRouting,
+    FaultSchedule,
+    link_down,
+    node_down,
+    verify_under_faults,
+)
+from repro.routing import HypercubeAdaptiveRouting, Mesh2DAdaptiveRouting
+from repro.routing.hypercube import QA, QB
+from repro.topology import Hypercube, Mesh2D
+
+CUBE = Hypercube(4)
+ALG = HypercubeAdaptiveRouting(CUBE)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    node=st.integers(0, 15),
+    dst=st.integers(0, 15),
+    kind=st.sampled_from([QA, QB]),
+)
+def test_empty_fault_set_is_hop_for_hop_identical(node, dst, kind):
+    """Healthy adapter == unwrapped algorithm on every hop relation."""
+    adapter = FaultAwareRouting(ALG)
+    q = QueueId(node, kind)
+    assert adapter.static_hops(q, dst) == ALG.static_hops(q, dst)
+    assert adapter.dynamic_hops(q, dst) == ALG.dynamic_hops(q, dst)
+    assert adapter.injection_targets(node, dst) == ALG.injection_targets(
+        node, dst
+    )
+    assert adapter.buffer_classes(node, node ^ 1) == ALG.buffer_classes(
+        node, node ^ 1
+    )
+
+
+def test_healthy_passthrough_returns_inner_objects():
+    """With no faults the adapter forwards the inner result objects —
+    it does not rebuild, filter, or copy them."""
+    sentinel_static = frozenset({QueueId(1, QA)})
+    sentinel_dynamic = frozenset({QueueId(2, QA)})
+    sentinel_inject = frozenset({QueueId(0, QA)})
+
+    class _Probe(HypercubeAdaptiveRouting):
+        def static_hops(self, q, dst, state=None):
+            return sentinel_static
+
+        def dynamic_hops(self, q, dst, state=None):
+            return sentinel_dynamic
+
+        def injection_targets(self, src, dst, state=None):
+            return sentinel_inject
+
+    adapter = FaultAwareRouting(_Probe(Hypercube(3)))
+    q = QueueId(0, QA)
+    assert adapter.static_hops(q, 5) is sentinel_static
+    assert adapter.dynamic_hops(q, 5) is sentinel_dynamic
+    assert adapter.injection_targets(0, 5) is sentinel_inject
+
+
+def test_healthy_adapter_still_verifies():
+    """Wrapping costs no correctness: Section-2 conditions still hold."""
+    report = verify_algorithm(
+        FaultAwareRouting(HypercubeAdaptiveRouting(Hypercube(3))),
+        check_minimal=False,
+        check_fully_adaptive=False,
+    )
+    assert report.deadlock_free, report.errors
+
+
+def test_dead_static_hop_is_withheld():
+    alg = HypercubeAdaptiveRouting(Hypercube(3))
+    adapter = FaultAwareRouting(alg)
+    fs = FaultSchedule.fixed(alg.topology, [link_down(0, 1)]).final
+    adapter.set_active(fs)
+    # 0 -> 5: phase A fixes bits 0 and 2; the bit-0 hop (via node 1) died.
+    q = QueueId(0, QA)
+    inner = alg.static_hops(q, 5)
+    assert QueueId(1, QA) in inner
+    filtered = adapter.static_hops(q, 5)
+    assert filtered == {QueueId(4, QA)}
+
+
+def test_unreachable_destination_parks():
+    cube = Hypercube(3)
+    alg = HypercubeAdaptiveRouting(cube)
+    adapter = FaultAwareRouting(alg)
+    fs = FaultSchedule.fixed(cube, [node_down(7)]).final
+    adapter.set_active(fs)
+    assert adapter.injection_targets(0, 7) == frozenset()
+    assert adapter.static_hops(QueueId(3, QA), 7) == frozenset()
+    assert adapter.dynamic_hops(QueueId(3, QA), 7) == frozenset()
+    # other destinations keep routing
+    assert adapter.injection_targets(0, 5)
+
+
+def test_detour_offers_class_realizable_escape():
+    """Phase-B packet whose only minimal link died detours through a
+    physically-present buffer class and still reaches the destination."""
+    cube = Hypercube(3)
+    alg = HypercubeAdaptiveRouting(cube)
+    adapter = FaultAwareRouting(alg)
+    # packet at 7 (B phase) heading to 5: only minimal hop is 7 -> 5.
+    adapter.set_active(FaultSchedule.fixed(cube, [link_down(7, 5)]).final)
+    q = QueueId(7, QB)
+    assert alg.static_hops(q, 5) == {QueueId(5, QB)}
+    det = adapter.static_hops(q, 5)
+    assert det, "detour must offer an escape"
+    for q2 in det:
+        # the connecting link physically carries the class this hop uses
+        cls = adapter.buffer_class(q, q2, False)
+        assert cls in adapter.buffer_classes(7, q2.node)
+    # and a detoured walk still delivers
+    path = adapter.walk(7, 5)
+    assert path[-1] == QueueId(5, "del")
+
+
+def test_detour_can_be_disabled():
+    cube = Hypercube(3)
+    adapter = FaultAwareRouting(HypercubeAdaptiveRouting(cube), detour=False)
+    adapter.set_active(FaultSchedule.fixed(cube, [link_down(7, 5)]).final)
+    assert adapter.static_hops(QueueId(7, QB), 5) == frozenset()
+
+
+def test_surviving_hops_never_increase_faulted_distance():
+    """No offered hop walks away from the destination in the faulted
+    metric — the invariant that makes degraded routing cycle-free."""
+    mesh = Mesh2D(4)
+    alg = Mesh2DAdaptiveRouting(mesh)
+    adapter = FaultAwareRouting(alg)
+    fs = FaultSchedule.fixed(
+        mesh, [link_down((1, 2), (1, 3)), link_down((2, 2), (2, 3))]
+    ).final
+    adapter.set_active(fs)
+    for dst in mesh.nodes():
+        dist = fs.distances(mesh, dst)
+        for u in mesh.nodes():
+            if u == dst or u not in dist:
+                continue
+            for kind in alg.central_queue_kinds(u):
+                q = QueueId(u, kind)
+                hops = adapter.static_hops(q, dst) | adapter.dynamic_hops(
+                    q, dst
+                )
+                for q2 in hops:
+                    if q2.node == u or q2.is_delivery:
+                        continue
+                    assert dist[q2.node] <= dist[u], (q, q2, dst)
+
+
+def test_verify_under_faults_reports_honestly():
+    cube = Hypercube(3)
+    alg = HypercubeAdaptiveRouting(cube)
+    # healthy fault set: everything still passes
+    fv = verify_under_faults(alg, EMPTY_FAULTS)
+    assert fv.report.deadlock_free and not fv.degraded
+    # cut node 0 off: unreachable pairs appear and guarantees degrade
+    fs = FaultSchedule.fixed(
+        cube, [link_down(0, 1), link_down(0, 2), link_down(0, 4)]
+    ).final
+    fv2 = verify_under_faults(alg, fs)
+    assert fv2.degraded
+    assert (1, 0) in fv2.unreachable_pairs
+    assert (0, 7) in fv2.unreachable_pairs
+    # minimality claims are dropped, not re-asserted
+    assert fv2.report.minimal is None
+    assert "unreachable" in fv2.summary()

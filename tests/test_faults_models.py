@@ -1,0 +1,116 @@
+"""Fault models: validation, epochs, reproducibility, reachability."""
+
+import pytest
+
+from repro.faults import (
+    EMPTY_FAULTS,
+    Fault,
+    FaultSchedule,
+    FaultSet,
+    LINK_DOWN,
+    LINK_STALL,
+    link_down,
+    link_stall,
+    node_down,
+)
+from repro.topology import Hypercube, Mesh2D
+
+
+def test_fault_validation():
+    with pytest.raises(ValueError):
+        Fault("meteor-strike", (0, 1))
+    with pytest.raises(ValueError):
+        Fault(LINK_STALL, (0, 1))  # stalls must be bounded
+    with pytest.raises(ValueError):
+        Fault(LINK_DOWN, (0, 1), start=0, end=10)  # downs are permanent
+    with pytest.raises(ValueError):
+        Fault(LINK_STALL, (0, 1), start=10, end=10)  # empty window
+
+
+def test_schedule_rejects_unknown_targets():
+    cube = Hypercube(3)
+    with pytest.raises(ValueError):
+        FaultSchedule.fixed(cube, [link_down(0, 3)])  # not adjacent
+    with pytest.raises(ValueError):
+        FaultSchedule.fixed(cube, [node_down(99)])
+
+
+def test_epoch_resolution():
+    cube = Hypercube(3)
+    sched = FaultSchedule.fixed(
+        cube, [link_down(0, 1, at=10), link_stall(2, 3, at=5, until=20)]
+    )
+    assert sched.at(0) is EMPTY_FAULTS
+    assert sched.at(4) is EMPTY_FAULTS
+    assert sched.at(5).stalled_links == {(2, 3), (3, 2)}
+    assert not sched.at(5).any  # stalls alone do not degrade routing
+    epoch = sched.at(12)
+    assert epoch.dead_links == {(0, 1), (1, 0)}
+    assert epoch.stalled_links == {(2, 3), (3, 2)}
+    assert epoch.blocked_links == {(0, 1), (1, 0), (2, 3), (3, 2)}
+    final = sched.final
+    assert final.dead_links == {(0, 1), (1, 0)}
+    assert not final.stalled_links  # the stall recovered
+    assert sched.next_change_after(0) == 5
+    assert sched.next_change_after(10) == 20
+    assert sched.next_change_after(20) is None
+
+
+def test_node_down_kills_incident_links():
+    cube = Hypercube(3)
+    fs = FaultSchedule.fixed(cube, [node_down(0)]).final
+    assert fs.dead_nodes == {0}
+    assert fs.dead_links == {(0, 1), (1, 0), (0, 2), (2, 0), (0, 4), (4, 0)}
+    assert not fs.link_alive(0, 1) and not fs.link_alive(1, 0)
+    assert fs.link_alive(1, 3)
+    # a down destination is reachable from nowhere
+    assert fs.reachable(cube, 0) == frozenset()
+    assert fs.distances(cube, 0) == {}
+
+
+def test_reachability_and_distances_respect_dead_links():
+    cube = Hypercube(3)
+    # cut node 0 off from its three neighbors
+    fs = FaultSchedule.fixed(
+        cube, [link_down(0, 1), link_down(0, 2), link_down(0, 4)]
+    ).final
+    assert 1 not in fs.reachable(cube, 0)
+    assert fs.reachable(cube, 0) == frozenset({0})
+    # everyone except 0 still reaches node 7, at healthy distance
+    dist = fs.distances(cube, 7)
+    assert 0 not in dist
+    assert dist[7] == 0 and dist[6] == 1 and dist[1] == 2
+    # partial cuts reroute: kill 3->7 only, 3 still reaches 7 in 3 hops
+    fs2 = FaultSchedule.fixed(cube, [link_down(3, 7)]).final
+    assert fs2.distances(cube, 7)[3] == 3
+
+
+def test_bernoulli_schedule_is_reproducible():
+    mesh = Mesh2D(5)
+    a = FaultSchedule.bernoulli_links(mesh, 0.2, seed=42, onset_max=30)
+    b = FaultSchedule.bernoulli_links(mesh, 0.2, seed=42, onset_max=30)
+    assert a.faults == b.faults
+    c = FaultSchedule.bernoulli_links(mesh, 0.2, seed=43, onset_max=30)
+    assert a.faults != c.faults  # different seed, different draw
+    # every target really is a link, both directions present
+    targets = {f.target for f in a.faults}
+    assert all(mesh.is_adjacent(u, v) for u, v in targets)
+    assert all((v, u) in targets for u, v in targets)
+
+
+def test_random_links_draws_exact_count():
+    cube = Hypercube(4)
+    sched = FaultSchedule.random_links(cube, 5, seed=7)
+    undirected = {tuple(sorted(f.target)) for f in sched.faults}
+    assert len(undirected) == 5
+    assert len(sched.faults) == 10  # both directions
+    with pytest.raises(ValueError):
+        FaultSchedule.random_links(cube, 10_000, seed=7)
+
+
+def test_empty_faultset_is_cheap_and_shared():
+    cube = Hypercube(3)
+    assert FaultSchedule.healthy(cube).final is EMPTY_FAULTS
+    assert not EMPTY_FAULTS.any
+    assert EMPTY_FAULTS.blocked_links == frozenset()
+    assert FaultSet().describe() == "healthy"
