@@ -29,14 +29,25 @@ class LoadPoint:
     l_avg: float
     l_max: int
     delivered: int
+    #: Telemetry summary when the sweep was instrumented; None otherwise.
+    telemetry: dict | None = None
 
     def row(self) -> dict:
-        return {
+        out = {
             "lambda": round(self.offered, 3),
             "accepted": round(self.accepted, 3),
             "L_avg": round(self.l_avg, 2),
             "L_max": self.l_max,
         }
+        if self.telemetry:
+            t = self.telemetry
+            out["link_util"] = round(t["link_utilization"], 4)
+            out["dyn_hops(%)"] = round(
+                100.0 * t["hops"]["dynamic_fraction"], 1
+            )
+            if t["occupancy"]["mean"] is not None:
+                out["occ_mean"] = round(t["occupancy"]["mean"], 3)
+        return out
 
 
 def load_sweep(
@@ -47,12 +58,21 @@ def load_sweep(
     warmup: int = 100,
     seed: int = 0,
     central_capacity: int = 5,
+    engine: str | None = None,
+    telemetry: bool = False,
 ) -> list[LoadPoint]:
     """Measure latency and accepted throughput across offered loads.
 
     A fresh algorithm/pattern instance per point keeps runs independent
-    and reproducible.
+    and reproducible.  ``engine`` picks a specific engine (default: the
+    reference engine, the historical behavior); ``telemetry`` attaches
+    a metrics-only probe per point, populating ``LoadPoint.telemetry``
+    and the occupancy/utilization row columns.
     """
+    # Lazy import: analysis stays importable without the experiments
+    # machinery, and only instrumented sweeps need the factory.
+    from ..experiments.runner import build_simulator
+
     points = []
     for rate in rates:
         alg = algorithm_factory()
@@ -63,7 +83,16 @@ def load_sweep(
             duration=duration,
             warmup=warmup,
         )
-        sim = PacketSimulator(alg, inj, central_capacity=central_capacity)
+        if engine is None and not telemetry:
+            sim = PacketSimulator(alg, inj, central_capacity=central_capacity)
+        else:
+            sim = build_simulator(
+                alg,
+                inj,
+                engine=engine or "reference",
+                telemetry=telemetry or None,
+                central_capacity=central_capacity,
+            )
         res: SimulationResult = sim.run()
         points.append(
             LoadPoint(
@@ -72,6 +101,7 @@ def load_sweep(
                 l_avg=res.l_avg,
                 l_max=res.l_max,
                 delivered=res.delivered,
+                telemetry=res.telemetry,
             )
         )
     return points

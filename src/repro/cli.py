@@ -17,14 +17,22 @@ Machine-verify an algorithm instance::
     python -m repro verify torus 3x3
     python -m repro verify shuffle-exchange 4
 
-Trace an offered-load sweep::
+Trace an offered-load sweep (``--telemetry`` adds occupancy and
+link-utilization columns)::
 
     python -m repro sweep --n 6 --pattern complement
+    python -m repro sweep --n 6 --telemetry
 
 Run a fault-degradation sweep (beyond the paper; docs/RESILIENCE.md)::
 
     python -m repro faults --family hypercube --size 5 --counts 0,2,4,8
     python -m repro faults --family mesh --size 6 --verify
+
+Dump full telemetry artifacts for one run on both engines and check
+the event logs are byte-identical (docs/OBSERVABILITY.md)::
+
+    python -m repro telemetry --n 4 --out telemetry-out
+    python -m repro telemetry --n 4 --faults 3 --engine both
 """
 
 from __future__ import annotations
@@ -134,6 +142,7 @@ def cmd_sweep(args) -> int:
         lambda: hypercube_pattern(args.pattern, cube, make_rng(args.seed)),
         rates=tuple(float(x) for x in args.rates.split(",")),
         seed=args.seed,
+        telemetry=args.telemetry,
     )
     print(format_rows([p.row() for p in points]))
     return 0
@@ -157,6 +166,7 @@ def cmd_faults(args) -> int:
         packets_per_node=args.packets,
         detour=not args.no_detour,
         workers=args.workers,
+        telemetry=args.telemetry,
     )
     keep = (
         "failed_links",
@@ -169,6 +179,10 @@ def cmd_faults(args) -> int:
         "latency_x",
         "reroute_overhead",
         "cycles",
+        "link_util",
+        "dyn_hops(%)",
+        "occ_mean",
+        "occ_peak",
     )
     print(format_rows([{k: r[k] for k in keep if k in r} for r in rows]))
     if args.verify:
@@ -184,6 +198,71 @@ def cmd_faults(args) -> int:
         print("verify under faults:", fv.summary())
         for err in fv.report.errors[:10]:
             print("  !", err)
+    return 0
+
+
+def cmd_telemetry(args) -> int:
+    """``repro telemetry``: instrumented run + artifact dump + identity check.
+
+    Runs one hypercube workload on the requested engine(s) with a full
+    :class:`~repro.telemetry.TelemetryProbe` attached, writes the JSONL
+    event log, Prometheus metrics dump, CSV occupancy time series, and
+    JSON summary per engine, and — when both engines ran — verifies the
+    event logs are byte-identical (exit code 1 if not).
+    """
+    from pathlib import Path
+
+    from .core.message import reset_message_ids
+    from .experiments.runner import build_simulator
+    from .sim import StaticInjection
+    from .telemetry import TelemetryProbe, write_artifacts
+
+    engines = (
+        ("reference", "compiled") if args.engine == "both" else (args.engine,)
+    )
+    outdir = Path(args.out)
+    logs: dict[str, str] = {}
+    for engine in engines:
+        # Fresh topology/uids/RNG per engine so runs are comparable
+        # packet-for-packet.
+        reset_message_ids()
+        topo = Hypercube(args.n)
+        alg = HypercubeAdaptiveRouting(topo)
+        pattern = hypercube_pattern(args.pattern, topo, make_rng(args.seed))
+        model = StaticInjection(
+            args.packets, pattern, make_rng(args.seed, "inj")
+        )
+        probe = TelemetryProbe(occupancy_every=args.sample_every)
+        if args.faults:
+            from .faults import FaultSchedule
+            from .faults.experiments import make_fault_simulator
+
+            schedule = FaultSchedule.random_links(
+                topo, args.faults, args.seed
+            )
+            sim = make_fault_simulator(
+                alg, model, schedule, engine=engine, telemetry=probe
+            )
+        else:
+            sim = build_simulator(alg, model, engine=engine, telemetry=probe)
+        result = sim.run(max_cycles=2_000_000)
+        paths = write_artifacts(probe, outdir, prefix=f"{engine}-")
+        print(
+            f"[{engine}] cycles={result.cycles} "
+            f"delivered={result.delivered}/{result.injected} "
+            f"events={len(probe.log)} "
+            f"dyn_hops={probe.summary['hops']['dynamic_fraction']:.3f}"
+        )
+        for name in sorted(paths):
+            print(f"  {name}: {paths[name]}")
+        logs[engine] = probe.log.to_jsonl()
+    if len(logs) == 2:
+        identical = logs["reference"] == logs["compiled"]
+        print(
+            "event logs byte-identical across engines:",
+            "yes" if identical else "NO",
+        )
+        return 0 if identical else 1
     return 0
 
 
@@ -240,6 +319,12 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--pattern", default="random")
     s.add_argument("--rates", default="0.1,0.25,0.5,0.75,1.0")
     s.add_argument("--seed", type=int, default=0)
+    s.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="attach a metrics probe per point (adds occupancy and "
+        "link-utilization columns)",
+    )
     s.set_defaults(fn=cmd_sweep)
 
     ft = sub.add_parser(
@@ -264,7 +349,38 @@ def build_parser() -> argparse.ArgumentParser:
     ft.add_argument("--verify", action="store_true",
                     help="also re-verify Section-2 conditions at the "
                     "largest fault set (expect honest failures)")
+    ft.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="attach a metrics probe per cell (adds occupancy and "
+        "link-utilization columns)",
+    )
     ft.set_defaults(fn=cmd_faults)
+
+    tm = sub.add_parser(
+        "telemetry",
+        help="instrumented run: event log + Prometheus + CSV artifacts, "
+        "with a cross-engine identity check",
+    )
+    tm.add_argument("--n", type=int, default=4, help="hypercube dimension")
+    tm.add_argument("--pattern", default="random")
+    tm.add_argument("--packets", type=int, default=2,
+                    help="static packets per node")
+    tm.add_argument("--seed", type=int, default=0)
+    tm.add_argument(
+        "--engine",
+        choices=("reference", "compiled", "both"),
+        default="both",
+        help="engine(s) to run; 'both' also checks the event logs "
+        "are byte-identical",
+    )
+    tm.add_argument("--out", default="telemetry-out",
+                    help="artifact output directory")
+    tm.add_argument("--sample-every", type=int, default=1,
+                    help="occupancy sampling stride in cycles")
+    tm.add_argument("--faults", type=int, default=0,
+                    help="inject this many random link faults")
+    tm.set_defaults(fn=cmd_telemetry)
 
     r = sub.add_parser(
         "report", help="regenerate every table/figure as one Markdown report"

@@ -33,6 +33,7 @@ from ..sim.injection import DynamicInjection, InjectionModel, StaticInjection
 from ..sim.metrics import SimulationResult
 from ..sim.rng import make_rng
 from ..sim.traffic import hypercube_pattern
+from ..telemetry import TelemetryProbe
 from ..topology.hypercube import Hypercube
 
 SCALES: dict[str, tuple[int, ...]] = {
@@ -66,10 +67,25 @@ def _fast_eligible(algorithm: RoutingAlgorithm) -> bool:
 _FAST_KWARGS = frozenset({"central_capacity", "stall_limit"})
 
 
+def resolve_probe(telemetry) -> TelemetryProbe | None:
+    """Normalize a ``telemetry`` argument into a probe (or None).
+
+    ``True`` means a metrics-only probe (no event log — O(1) memory,
+    the right default for sweeps); pass a
+    :class:`~repro.telemetry.TelemetryProbe` instance for full control.
+    """
+    if telemetry is None or telemetry is False:
+        return None
+    if telemetry is True:
+        return TelemetryProbe(events=False)
+    return telemetry
+
+
 def build_simulator(
     algorithm: RoutingAlgorithm,
     model: InjectionModel,
     engine: str | None = None,
+    telemetry=None,
     **kwargs,
 ) -> PacketSimulator:
     """Construct the requested engine around ``(algorithm, model)``.
@@ -87,24 +103,43 @@ def build_simulator(
 
     All three subclasses share the reference engine's semantics, so the
     choice never changes results, only throughput.
+
+    ``telemetry`` (True or a :class:`~repro.telemetry.TelemetryProbe`)
+    attaches instrumentation; probes need the generic observer loop, so
+    they disqualify the fast engine under ``auto`` and are an error
+    with an explicit ``engine="fast"``.
     """
     name = engine_choice() if engine is None else engine
     if name not in ENGINES:
         raise ValueError(f"engine={name!r}; expected one of {ENGINES}")
-    if name == "reference":
-        return PacketSimulator(algorithm, model, **kwargs)
+    probe = resolve_probe(telemetry)
     if name == "fast":
+        if probe is not None:
+            raise ValueError(
+                "telemetry probes need the generic engines' observer "
+                "loop; the fast engine has none — use engine='compiled'"
+            )
         return FastHypercubeSimulator(algorithm, model, **kwargs)
-    if name == "compiled":
-        return CompiledPacketSimulator(algorithm, model, **kwargs)
+    if name == "reference":
+        sim = PacketSimulator(algorithm, model, **kwargs)
+    elif name == "compiled":
+        sim = CompiledPacketSimulator(algorithm, model, **kwargs)
     # auto: prefer the specialized engine, fall back to the compiled
     # generic engine (both are packet-for-packet identical).  Callers
     # should omit generic-only kwargs they don't need, since their mere
     # presence (occupancy, tracing, service/policy variants) forces the
     # generic engine.
-    if _fast_eligible(algorithm) and set(kwargs) <= _FAST_KWARGS:
+    elif (
+        probe is None
+        and _fast_eligible(algorithm)
+        and set(kwargs) <= _FAST_KWARGS
+    ):
         return FastHypercubeSimulator(algorithm, model, **kwargs)
-    return CompiledPacketSimulator(algorithm, model, **kwargs)
+    else:
+        sim = CompiledPacketSimulator(algorithm, model, **kwargs)
+    if probe is not None:
+        probe.attach(sim)
+    return sim
 
 
 def scale_dimensions(default: str = "ci") -> tuple[int, ...]:
@@ -137,6 +172,10 @@ class HypercubeExperiment:
     seed: int = 12345
     central_capacity: int = 5
     collect_occupancy: bool = False
+    #: Attach a metrics-only telemetry probe per cell; results carry
+    #: ``SimulationResult.telemetry`` (and extra ``row()`` columns).
+    #: Forces a generic engine under ``auto``.
+    telemetry: bool = False
     #: Routing-algorithm constructor (default: the paper's adaptive
     #: scheme); per-call ``algorithm_factory`` arguments override it.
     algorithm: Callable[[Hypercube], RoutingAlgorithm] | None = None
@@ -184,7 +223,13 @@ class HypercubeExperiment:
         kwargs: dict = {"central_capacity": self.central_capacity}
         if self.collect_occupancy:
             kwargs["collect_occupancy"] = True
-        return build_simulator(alg, model, engine=engine, **kwargs)
+        return build_simulator(
+            alg,
+            model,
+            engine=engine,
+            telemetry=self.telemetry or None,
+            **kwargs,
+        )
 
     def run(
         self,

@@ -321,6 +321,10 @@ class FaultInjector:
                 msg.hops.pop()  # the hop never physically happened
             msg.target = None
             queues[kind].append(msg)
+            if sim._events is not None:
+                sim._events.append(
+                    ("enqueue", sim.cycle, msg.uid, u, kind)
+                )
 
 
 @dataclass

@@ -23,7 +23,7 @@ from typing import Callable, Sequence
 
 from ..core.routing_function import RoutingAlgorithm, node_path
 from ..experiments.parallel import parallel_map
-from ..experiments.runner import build_simulator, engine_choice
+from ..experiments.runner import build_simulator, engine_choice, resolve_probe
 from ..routing.hypercube import HypercubeAdaptiveRouting
 from ..routing.mesh import Mesh2DAdaptiveRouting
 from ..sim.engine import PacketSimulator
@@ -47,6 +47,7 @@ def make_fault_simulator(
     watchdog: bool = True,
     detour: bool = True,
     livelock_limit: int | None = 25_000,
+    telemetry=None,
     **kwargs,
 ) -> PacketSimulator:
     """Wire algorithm + injection + fault schedule into one engine.
@@ -57,7 +58,9 @@ def make_fault_simulator(
     the :class:`FaultInjector` first, then (optionally) the
     :class:`DeadlockWatchdog`, in that order: the injector must update
     the epoch — and get the chance to suppress transient stalls —
-    before the watchdog passes judgment.
+    before the watchdog passes judgment.  A ``telemetry`` probe (True
+    or a :class:`~repro.telemetry.TelemetryProbe`) attaches *last*, so
+    it observes each epoch the same cycle the injector installs it.
     """
     adapter = FaultAwareRouting(algorithm, detour=detour)
     resolved = engine_choice() if engine is None else engine
@@ -69,6 +72,9 @@ def make_fault_simulator(
     sim.add_observer(FaultInjector(schedule, adapter))
     if watchdog:
         sim.add_observer(DeadlockWatchdog(livelock_limit=livelock_limit))
+    probe = resolve_probe(telemetry)
+    if probe is not None:
+        probe.attach(sim)
     return sim
 
 
@@ -116,12 +122,15 @@ def run_with_faults(
     detour: bool = True,
     measure_overhead: bool = False,
     max_cycles: int | None = None,
+    telemetry=None,
     **kwargs,
 ) -> ResilienceResult:
     """Run one degraded simulation and collect resilience metrics.
 
     ``measure_overhead`` turns on route tracing and computes the mean
     reroute overhead from every delivered packet's actual node path.
+    ``telemetry`` attaches a probe; its summary rides
+    ``result.telemetry``.
     """
     if measure_overhead:
         kwargs.setdefault("trace", True)
@@ -132,6 +141,7 @@ def run_with_faults(
         engine=engine,
         watchdog=watchdog,
         detour=detour,
+        telemetry=telemetry,
         **kwargs,
     )
     if measure_overhead:
@@ -167,7 +177,7 @@ RESILIENCE_FAMILIES: dict[
 
 def _sweep_cell(cell: tuple) -> ResilienceResult:
     """Module-level worker (picklable for process pools)."""
-    (family, size, count, seed, packets, engine, detour) = cell
+    (family, size, count, seed, packets, engine, detour, telemetry) = cell
     build, make_alg = RESILIENCE_FAMILIES[family]
     topo = build(size)
     alg = make_alg(topo)
@@ -188,6 +198,7 @@ def _sweep_cell(cell: tuple) -> ResilienceResult:
         detour=detour,
         measure_overhead=True,
         max_cycles=2_000_000,
+        telemetry=telemetry,
     )
 
 
@@ -200,6 +211,7 @@ def degradation_sweep(
     engine: str | None = None,
     detour: bool = True,
     workers: int | None = None,
+    telemetry: bool = False,
 ) -> list[dict]:
     """Delivery/latency/overhead versus the number of failed links.
 
@@ -207,7 +219,8 @@ def degradation_sweep(
     prepended when missing, since latency inflation is relative to it).
     Fault sets are seeded draws of ``count`` undirected links, so the
     sweep replays exactly; per-cell RNG derivation keeps parallel and
-    serial runs identical.
+    serial runs identical.  ``telemetry`` attaches a metrics-only
+    probe per cell, adding occupancy/utilization columns to the rows.
     """
     if family not in RESILIENCE_FAMILIES:
         raise ValueError(
@@ -218,7 +231,8 @@ def degradation_sweep(
     if 0 not in counts:
         counts.insert(0, 0)
     cells = [
-        (family, size, count, seed, packets_per_node, engine, detour)
+        (family, size, count, seed, packets_per_node, engine, detour,
+         telemetry)
         for count in counts
     ]
     results = parallel_map(_sweep_cell, cells, workers=workers or 1)

@@ -33,10 +33,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable
 
-import networkx as nx
-
 from ..core.queues import QueueId
 from ..sim.engine import DeadlockError, PacketSimulator, SimulationHalt
+from ..telemetry.snapshots import find_wait_cycle
 from .models import EMPTY_FAULTS, FaultSet
 
 
@@ -279,26 +278,8 @@ class DeadlockWatchdog(SimObserver):
     def _find_wait_cycle(
         self, sim: PacketSimulator, fs: FaultSet
     ) -> tuple[QueueId, ...] | None:
-        """Wait-for graph over central queues: ``q -> q'`` when a packet
-        in ``q`` wants ``q'`` and ``q'`` is full.  A directed cycle in
-        this graph is the classic store-and-forward deadlock witness."""
-        alg = sim.algorithm
-        cap = sim.central_capacity
-        g = nx.DiGraph()
-        for u in sim.nodes:
-            if u in fs.dead_nodes:
-                continue
-            for kind, q in sim.central[u].items():
-                q_id = QueueId(u, kind)
-                for msg in q:
-                    for q2 in alg.hops(q_id, msg.dst, msg.state):
-                        if not q2.is_central or q2 == q_id:
-                            continue
-                        target = sim.central.get(q2.node, {}).get(q2.kind)
-                        if target is not None and len(target) >= cap:
-                            g.add_edge(q_id, q2)
-        try:
-            cyc = nx.find_cycle(g)
-        except (nx.NetworkXNoCycle, nx.NetworkXError):
-            return None
-        return tuple(e[0] for e in cyc)
+        """Wait-for cycle over central queues — the classic
+        store-and-forward deadlock witness.  Delegates to the shared
+        snapshot helper in :mod:`repro.telemetry.snapshots`, so the
+        same graph is available outside a stall analysis too."""
+        return find_wait_cycle(sim, fs.dead_nodes)

@@ -12,7 +12,7 @@ from .injection import DynamicInjection, InjectionModel, StaticInjection
 from .plans import CentralPlan, RoutingPlanCache
 from .metrics import LatencyStats, SimulationResult
 from .rng import make_rng
-from .trace import TraceEvent, TracingSimulator
+from .trace import CompiledTracingSimulator, TraceEvent, TracingSimulator
 from .traffic import (
     BitReversalTraffic,
     HotspotTraffic,
@@ -45,6 +45,7 @@ __all__ = [
     "SimulationResult",
     "make_rng",
     "TracingSimulator",
+    "CompiledTracingSimulator",
     "TraceEvent",
     "TrafficPattern",
     "RandomTraffic",

@@ -108,12 +108,12 @@ class CompiledPacketSimulator(PacketSimulator):
         shared = self.plan_cache.central_plan(q_id, dst, state)
         slot_map = self._slot_maps[q_id.node]
         ext = []
-        for slot, (q2, new_state) in shared.external.items():
+        for slot, (q2, new_state, dyn) in shared.external.items():
             j = slot_map.get(slot)
             # Candidates without a physical buffer are unreachable in
             # the reference engine too; drop them here.
             if j is not None:
-                ext.append((j, q2, new_state))
+                ext.append((j, q2, new_state, slot[1], dyn))
         # Slot-ascending order lets the message-major fill loop take
         # the first free candidate under the "paper" policy (and scan
         # for the min rotated rank under "rotating") without sorting.
@@ -153,6 +153,7 @@ class CompiledPacketSimulator(PacketSimulator):
         fill_memo = self._fill_memo
         trace = self.trace
         cycle = self.cycle
+        events = self._events
         #: kind -> snapshot positions popped this cycle (compacted below).
         removed: dict[str, list[int]] = {}
         #: kind -> pending removal count; len(queue) + delta is the
@@ -217,7 +218,7 @@ class CompiledPacketSimulator(PacketSimulator):
                                 chosen = cand
                                 break
                 if chosen is not None:
-                    j, q2, new_state = chosen
+                    j, q2, new_state, cls, dyn = chosen
                     taken[j] = 1
                     removed.setdefault(kind, []).append(pos)
                     delta[kind] = delta.get(kind, 0) - 1
@@ -227,6 +228,11 @@ class CompiledPacketSimulator(PacketSimulator):
                         msg.record_hop(q2)
                     out_buf[bufkeys[j]] = msg
                     self._last_progress = cycle
+                    if events is not None:
+                        events.append(
+                            ("hop", cycle, msg.uid, u, q2.node, cls, dyn,
+                             q2.kind)
+                        )
                 elif internal:
                     pending.append((pos, kind, msg, internal))
 
@@ -245,6 +251,10 @@ class CompiledPacketSimulator(PacketSimulator):
                     if trace:
                         msg.record_hop(q2)
                     self._last_progress = cycle
+                    if events is not None:
+                        events.append(
+                            ("enqueue", cycle, msg.uid, u, q2.kind)
+                        )
                     break
                 # MOVE_STEP: sibling central queue, capacity permitting.
                 k2 = q2.kind
@@ -256,6 +266,10 @@ class CompiledPacketSimulator(PacketSimulator):
                         msg.record_hop(q2)
                     queues[k2].append(msg)
                     self._last_progress = cycle
+                    if events is not None:
+                        events.append(
+                            ("enqueue", cycle, msg.uid, u, q2.kind)
+                        )
                     break
 
         # One compaction per touched queue replaces the reference
@@ -278,6 +292,7 @@ class CompiledPacketSimulator(PacketSimulator):
         cache = self.plan_cache
         entry_memo = cache.entry_memo
         trace = self.trace
+        events = self._events
         for i in range(total):
             idx = (start + i) % total
             if idx == n_in:  # the injection buffer
@@ -294,6 +309,10 @@ class CompiledPacketSimulator(PacketSimulator):
                         queues[kind].append(msg)
                         self.inj[u] = None
                         self._last_progress = self.cycle
+                        if events is not None:
+                            events.append(
+                                ("enqueue", self.cycle, msg.uid, u, kind)
+                            )
                         break
             else:
                 src = in_keys[idx]
@@ -318,6 +337,10 @@ class CompiledPacketSimulator(PacketSimulator):
                         msg.record_hop(q2)
                     queues[q2.kind].append(msg)
                     self._last_progress = self.cycle
+                    if events is not None:
+                        events.append(
+                            ("enqueue", self.cycle, msg.uid, u, q2.kind)
+                        )
 
     def invalidate_plans(self) -> None:
         """Drop every memoized routing plan (fault-epoch transitions).

@@ -161,6 +161,12 @@ class PacketSimulator:
         #: raise :class:`SimulationHalt` / a richer error instead).
         #: Empty by default, so the healthy hot path is untouched.
         self.observers: list = []
+        #: Telemetry event sink (``repro.telemetry``): when an object
+        #: with ``append`` is installed here, the engine feeds it one
+        #: raw tuple per packet movement (inject/hop/enqueue/deliver).
+        #: None by default — the disabled cost is a single local
+        #: None-check per move.
+        self._events = None
         #: Live fault state (owned by :class:`repro.faults.adapters.FaultInjector`).
         #: ``dead_nodes`` freeze a node's whole node cycle and block its
         #: injection queue; ``blocked_links`` (dead + stalled directed
@@ -200,6 +206,8 @@ class PacketSimulator:
         self.injected_count += 1
         self.active += 1
         self._last_progress = cycle
+        if self._events is not None:
+            self._events.append(("inject", cycle, msg.uid, u, msg.dst))
 
     # ------------------------------------------------------------------
     # One routing cycle
@@ -257,6 +265,7 @@ class PacketSimulator:
         alg = self.algorithm
         queues = self.central[u]
         kinds = self.kinds[u]
+        events = self._events
 
         # Service order: FIFO position first, then queue kind — heads
         # of all queues are candidates before any second-in-line packet.
@@ -305,7 +314,7 @@ class PacketSimulator:
                 cand = plans[msg.uid][0].get((v, cls))
                 if cand is None:
                     continue
-                q2, _dyn = cand
+                q2, dyn = cand
                 queues[q_id.kind].remove(msg)
                 msg.state = alg.update_state(msg.state, q_id, q2)
                 msg.target = q2
@@ -313,6 +322,10 @@ class PacketSimulator:
                 self.out_buf[key] = msg
                 moved.add(msg.uid)
                 self._last_progress = self.cycle
+                if events is not None:
+                    events.append(
+                        ("hop", self.cycle, msg.uid, u, v, cls, dyn, q2.kind)
+                    )
                 break
 
         # Internal moves (phase change, delivery, self-state updates).
@@ -331,6 +344,10 @@ class PacketSimulator:
                     msg.record_hop(q2)
                     moved.add(msg.uid)
                     self._last_progress = self.cycle
+                    if events is not None:
+                        events.append(
+                            ("enqueue", self.cycle, msg.uid, u, q2.kind)
+                        )
                     break
                 target = queues[q2.kind]
                 if len(target) < self.central_capacity:
@@ -340,6 +357,10 @@ class PacketSimulator:
                     target.append(msg)
                     moved.add(msg.uid)
                     self._last_progress = self.cycle
+                    if events is not None:
+                        events.append(
+                            ("enqueue", self.cycle, msg.uid, u, q2.kind)
+                        )
                     break
 
     def _resolve_entry_queue(self, q2: QueueId, state, dst):
@@ -371,6 +392,7 @@ class PacketSimulator:
     def _node_read_inputs(self, u: Hashable) -> None:
         alg = self.algorithm
         queues = self.central[u]
+        events = self._events
         sources: list = list(self.in_keys[u]) + ["inj"]
         for src in rotated(sources, self.cycle):
             if src == "inj":
@@ -386,6 +408,10 @@ class PacketSimulator:
                         msg.state = st
                         msg.record_hop(q2)
                         queues[q2.kind].append(msg)
+                        if events is not None:
+                            events.append(
+                                ("enqueue", self.cycle, msg.uid, u, q2.kind)
+                            )
                         placed = True
                         break
                 if placed:
@@ -405,6 +431,10 @@ class PacketSimulator:
                         msg.record_hop(q2)
                     queues[q2.kind].append(msg)
                     self._last_progress = self.cycle
+                    if events is not None:
+                        events.append(
+                            ("enqueue", self.cycle, msg.uid, u, q2.kind)
+                        )
 
     # -- link cycle --------------------------------------------------------
     def _link_cycle(self) -> None:
@@ -432,6 +462,10 @@ class PacketSimulator:
         self.delivered_count += 1
         self.active -= 1
         self._last_progress = self.cycle
+        if self._events is not None:
+            self._events.append(
+                ("deliver", self.cycle, msg.uid, msg.dst, msg.latency)
+            )
         if msg.injected_cycle >= self.measure_from:
             self.latency.record(msg.latency)
         if self.delivered_messages is not None:
@@ -491,7 +525,7 @@ class PacketSimulator:
                 "mean": self.occupancy_mean(),
                 "peak": dict(self.occupancy_peak),
             }
-        return SimulationResult(
+        result = SimulationResult(
             algorithm=self.algorithm.name,
             topology=self.topology.name,
             pattern=getattr(self.injection, "pattern", None).name
@@ -509,3 +543,10 @@ class PacketSimulator:
             halt=halt.reason if halt is not None else None,
             undeliverable=halt.undeliverable if halt is not None else 0,
         )
+        # Run-end observer hook (e.g. a telemetry probe folding its
+        # collected signals into result.telemetry).
+        for obs in self.observers:
+            hook = getattr(obs, "on_run_end", None)
+            if hook is not None:
+                hook(self, result)
+        return result

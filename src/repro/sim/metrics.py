@@ -44,6 +44,11 @@ class LatencyStats:
         return float(np.percentile(self.values, p))
 
     def histogram(self, bins: int = 20) -> tuple[np.ndarray, np.ndarray]:
+        if not self.values:
+            # Empty runs (all packets dropped, zero injection) yield an
+            # all-zero histogram over a nominal [0, 1] range instead of
+            # whatever numpy's empty-input behavior of the day is.
+            return np.zeros(bins, dtype=np.intp), np.linspace(0.0, 1.0, bins + 1)
         return np.histogram(np.asarray(self.values), bins=bins)
 
 
@@ -76,6 +81,12 @@ class SimulationResult:
     #: Reason string when the run was stopped gracefully by an observer
     #: (see :class:`repro.sim.engine.SimulationHalt`); None otherwise.
     halt: str | None = None
+    #: Summary dict produced by an attached
+    #: :class:`repro.telemetry.TelemetryProbe` (hop split, link
+    #: utilization, occupancy, latency histogram, fault epochs); None
+    #: when the run was not instrumented.  Plain data, so results stay
+    #: picklable for parallel sweeps.
+    telemetry: dict | None = None
 
     @property
     def l_avg(self) -> float:
@@ -130,4 +141,14 @@ class SimulationResult:
             out["undeliverable"] = self.undeliverable
         if self.attempts:
             out["I_r(%)"] = round(100.0 * self.injection_rate, 1)
+        if self.telemetry:
+            t = self.telemetry
+            out["link_util"] = round(t["link_utilization"], 4)
+            out["dyn_hops(%)"] = round(
+                100.0 * t["hops"]["dynamic_fraction"], 1
+            )
+            occ = t["occupancy"]
+            if occ["mean"] is not None:
+                out["occ_mean"] = round(occ["mean"], 3)
+                out["occ_peak"] = occ["peak"]
         return out

@@ -58,10 +58,12 @@ MOVE_STEP = 2  #: move into a sibling central queue (capacity permitting)
 class CentralPlan(NamedTuple):
     """Resolved candidate moves for one ``(queue, dst, state)`` key."""
 
-    #: ``(neighbor, buffer_class) -> (next_queue, new_state)``; the
-    #: first candidate per slot wins, statics before dynamics, exactly
-    #: as the reference engine's ``setdefault`` does.
-    external: dict[tuple[Hashable, str], tuple[QueueId, Any]]
+    #: ``(neighbor, buffer_class) -> (next_queue, new_state, is_dynamic)``;
+    #: the first candidate per slot wins, statics before dynamics,
+    #: exactly as the reference engine's ``setdefault`` does.
+    #: ``is_dynamic`` records whether the winning hop rides a dynamic
+    #: link (telemetry's Section-2-extension usage metric).
+    external: dict[tuple[Hashable, str], tuple[QueueId, Any, bool]]
     #: ``(action, next_queue, new_state)`` in reference order.
     internal: tuple[tuple[int, QueueId, Any], ...]
 
@@ -119,7 +121,7 @@ class RoutingPlanCache:
     ) -> CentralPlan:
         alg = self.algorithm
         u = q_id.node
-        external: dict[tuple[Hashable, str], tuple[QueueId, Any]] = {}
+        external: dict[tuple[Hashable, str], tuple[QueueId, Any, bool]] = {}
         internal: list[tuple[int, QueueId, Any]] = []
         for dyn, hops in (
             (False, alg.static_hops(q_id, dst, state)),
@@ -144,6 +146,7 @@ class RoutingPlanCache:
                         external[slot] = (
                             q2,
                             alg.update_state(state, q_id, q2),
+                            dyn,
                         )
         return CentralPlan(external, tuple(internal))
 

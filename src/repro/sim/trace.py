@@ -1,19 +1,28 @@
-"""Structured event tracing for simulations.
+"""Per-packet timeline tracing, built on the telemetry event log.
 
-Wraps a :class:`PacketSimulator` run and records per-packet events
-(injection, queue entries, link transfers, delivery) as structured
-records, reconstructable into per-packet timelines — the debugging
-companion to the aggregate metrics.  Tracing costs memory proportional
-to traffic, so it is opt-in and intended for small instances.
+:class:`TracingSimulator` (reference engine) and
+:class:`CompiledTracingSimulator` record the structured event log of
+:mod:`repro.telemetry.events` and reconstruct the classic per-packet
+view from it: ``inject`` / ``enter`` / ``deliver``
+:class:`TraceEvent` records, with ``enter`` stamped at *dispatch* time
+(the cycle the packet was sent toward the queue) exactly as the
+original bespoke tracer did — ``format_timeline`` output is unchanged
+(``tests/test_sim_trace.py`` keeps a golden sample).
+
+Tracing costs memory proportional to traffic, so it is opt-in and
+intended for small instances.  For aggregate signals use a
+:class:`~repro.telemetry.TelemetryProbe` instead; for the raw log use
+``sim.log`` directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterator
+from typing import Iterator
 
-from ..core.message import Message
 from ..core.queues import QueueId
+from ..telemetry.events import EventLog
+from .compiled import CompiledPacketSimulator
 from .engine import PacketSimulator
 
 
@@ -33,60 +42,64 @@ class TraceEvent:
     queue: QueueId
 
 
-class TracingSimulator(PacketSimulator):
-    """PacketSimulator that records a structured event log.
+class _TracingMixin:
+    """Event-log recording + old-style timeline reconstruction.
 
-    Uses the engine's built-in hop recording (``trace=True``) plus
-    injection/delivery hooks; events carry the cycle at which each
-    queue was *entered*.
+    Mixed into either engine: installs an :class:`EventLog` as the
+    engine's event sink and keeps ``trace=True`` so ``Message.hops``
+    stays populated for route-level consumers.
     """
 
     def __init__(self, *args, **kwargs):
         kwargs["trace"] = True
         super().__init__(*args, **kwargs)
-        self.events: list[TraceEvent] = []
-        self._hop_counts: dict[int, int] = {}
+        #: The raw structured event log (schema v1).
+        self.log = EventLog()
+        self._events = self.log.raw
+        self._reconstructed: list[TraceEvent] = []
+        self._reconstructed_from = 0
 
-    def place_in_injection_queue(
-        self, u: Hashable, msg: Message, cycle: int
-    ) -> None:
-        super().place_in_injection_queue(u, msg, cycle)
-        self.events.append(
-            TraceEvent(cycle, msg.uid, "inject", QueueId(u, "inj"))
-        )
-        self._hop_counts[msg.uid] = 1  # the injection queue itself
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Old-style trace events, canonical (cycle, uid) order.
 
-    def step(self) -> None:
-        super().step()
-        # Flush newly recorded hops into events (msg.hops grows as the
-        # engine moves packets; we attribute them to this cycle).
-        cycle = self.cycle - 1
-        for u in self.nodes:
-            for q in self.central[u].values():
-                for msg in q:
-                    self._flush(msg, cycle)
-        for slot in self.out_buf.values():
-            if slot is not None:
-                self._flush(slot, cycle)
-        for slot in self.in_buf.values():
-            if slot is not None:
-                self._flush(slot, cycle)
+        Reconstruction walks the raw log: a ``hop`` is an ``enter`` of
+        the dispatched-to queue at dispatch time; the physical-arrival
+        ``enqueue`` that follows is folded away unless the packet
+        landed in a *different* queue (the entry fold), which surfaces
+        as its own ``enter`` — matching what ``Message.record_hop``
+        used to capture.
+        """
+        if self._reconstructed_from != len(self.log.raw):
+            self._reconstructed = self._reconstruct()
+            self._reconstructed_from = len(self.log.raw)
+        return self._reconstructed
 
-    def _flush(self, msg: Message, cycle: int) -> None:
-        seen = self._hop_counts.get(msg.uid, 1)
-        hops = msg.hops or []
-        for q in hops[seen:]:
-            self.events.append(TraceEvent(cycle, msg.uid, "enter", q))
-        self._hop_counts[msg.uid] = max(seen, len(hops))
-
-    def _deliver(self, msg: Message) -> None:
-        self._flush(msg, self.cycle)
-        super()._deliver(msg)
-        self.events.append(
-            TraceEvent(
-                self.cycle, msg.uid, "deliver", QueueId(msg.dst, "del")
-            )
-        )
+    def _reconstruct(self) -> list[TraceEvent]:
+        out: list[TraceEvent] = []
+        pending: dict[int, tuple] = {}  # uid -> (node, kind) in flight
+        for ev in self.log.canonical():
+            kind, cycle, uid = ev[0], ev[1], ev[2]
+            if kind == "inject":
+                out.append(
+                    TraceEvent(cycle, uid, "inject", QueueId(ev[3], "inj"))
+                )
+            elif kind == "hop":
+                out.append(
+                    TraceEvent(cycle, uid, "enter", QueueId(ev[4], ev[7]))
+                )
+                pending[uid] = (ev[4], ev[7])
+            elif kind == "enqueue":
+                if pending.pop(uid, None) != (ev[3], ev[4]):
+                    out.append(
+                        TraceEvent(cycle, uid, "enter", QueueId(ev[3], ev[4]))
+                    )
+            elif kind == "deliver":
+                pending.pop(uid, None)
+                out.append(
+                    TraceEvent(cycle, uid, "deliver", QueueId(ev[3], "del"))
+                )
+        return out
 
     # ------------------------------------------------------------------
     # Queries
@@ -103,3 +116,11 @@ class TracingSimulator(PacketSimulator):
         for e in self.timeline(uid):
             lines.append(f"  cycle {e.cycle:4d}: {e.kind:8s} {e.queue!r}")
         return "\n".join(lines)
+
+
+class TracingSimulator(_TracingMixin, PacketSimulator):
+    """Reference engine with the structured event log attached."""
+
+
+class CompiledTracingSimulator(_TracingMixin, CompiledPacketSimulator):
+    """Compiled engine with the structured event log attached."""

@@ -1,0 +1,135 @@
+"""Serialization of a finished run's telemetry.
+
+Three formats plus a one-call bundle:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (``# TYPE`` headers, cumulative ``_bucket{le=...}`` histogram
+  series), scrape-ready;
+* :func:`occupancy_csv` — the per-queue occupancy time series as CSV
+  (``cycle,node,kind,occupancy``; node ids are quoted as needed);
+* :func:`summary_json` — the probe's summary dict as strict JSON
+  (NaN/inf sanitized to null);
+* :func:`write_artifacts` — writes everything a probe collected into
+  a directory (``events.jsonl`` / ``metrics.prom`` / ``occupancy.csv``
+  / ``summary.json``) and returns the paths.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from pathlib import Path
+
+_PROM_TYPES = {"counter": "counter", "gauge": "gauge", "histogram": "histogram"}
+
+
+def _fmt(value) -> str:
+    """Prometheus sample value: integers bare, floats via repr."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        return repr(value)
+    return str(value)
+
+
+def _label_str(pairs) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def prometheus_text(registry) -> str:
+    """Render a :class:`MetricRegistry` in the text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for metric in registry:
+        if metric.name not in typed:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {_PROM_TYPES[metric.kind]}")
+            typed.add(metric.name)
+        labels = tuple(metric.labels)
+        if metric.kind == "histogram":
+            for bound, cum in metric.cumulative():
+                le = "+Inf" if math.isinf(bound) else _fmt(bound)
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_label_str(labels + (('le', le),))} {cum}"
+                )
+            lines.append(
+                f"{metric.name}_sum{_label_str(labels)} {_fmt(metric.sum)}"
+            )
+            lines.append(
+                f"{metric.name}_count{_label_str(labels)} {metric.count}"
+            )
+        else:
+            lines.append(
+                f"{metric.name}{_label_str(labels)} {_fmt(metric.value)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def occupancy_csv(series) -> str:
+    """``(cycle, node, kind, occupancy)`` rows as CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["cycle", "node", "kind", "occupancy"])
+    for cycle, node, kind, occ in series:
+        writer.writerow([cycle, str(node), kind, occ])
+    return buf.getvalue()
+
+
+def _strict(value):
+    """Deep-copy with NaN/inf floats replaced by None (strict JSON)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _strict(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_strict(v) for v in value]
+    return value
+
+
+def summary_json(summary: dict) -> str:
+    """A probe summary as pretty, strict JSON."""
+    return (
+        json.dumps(_strict(summary), indent=2, sort_keys=True, allow_nan=False)
+        + "\n"
+    )
+
+
+def write_artifacts(probe, outdir, prefix: str = "") -> dict[str, Path]:
+    """Write everything ``probe`` collected into ``outdir``.
+
+    Returns ``{"events": ..., "metrics": ..., "occupancy": ...,
+    "summary": ...}`` with the paths actually written (keys for
+    artifacts the probe did not collect are absent).
+    """
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    paths: dict[str, Path] = {}
+    if probe.log is not None:
+        p = outdir / f"{prefix}events.jsonl"
+        p.write_text(probe.log.to_jsonl())
+        paths["events"] = p
+    p = outdir / f"{prefix}metrics.prom"
+    p.write_text(prometheus_text(probe.registry))
+    paths["metrics"] = p
+    if probe.series_enabled:
+        p = outdir / f"{prefix}occupancy.csv"
+        p.write_text(occupancy_csv(probe.occupancy_series))
+        paths["occupancy"] = p
+    if probe.summary is not None:
+        p = outdir / f"{prefix}summary.json"
+        p.write_text(summary_json(probe.summary))
+        paths["summary"] = p
+    return paths

@@ -87,3 +87,35 @@ def test_cli_faults_verify(capsys):
                  "--counts", "0,1", "--seed", "7", "--verify"]) == 0
     out = capsys.readouterr().out
     assert "verify under faults" in out.lower()
+
+
+def test_cli_sweep_telemetry(capsys):
+    assert main(["sweep", "--n", "3", "--rates", "0.3", "--telemetry"]) == 0
+    out = capsys.readouterr().out
+    assert "link_util" in out and "dyn_hops(%)" in out
+
+
+def test_cli_telemetry_artifacts(tmp_path, capsys):
+    out = tmp_path / "tele"
+    assert main(["telemetry", "--n", "3", "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "byte-identical across engines: yes" in text
+    for engine in ("reference", "compiled"):
+        for name in ("events.jsonl", "metrics.prom",
+                     "occupancy.csv", "summary.json"):
+            assert (out / f"{engine}-{name}").read_text()
+    prom = (out / "reference-metrics.prom").read_text()
+    assert "repro_packets_delivered_total" in prom
+    assert (out / "reference-occupancy.csv").read_text().startswith(
+        "cycle,node,kind,occupancy"
+    )
+
+
+def test_cli_telemetry_single_engine_with_faults(tmp_path, capsys):
+    out = tmp_path / "tele"
+    assert main(["telemetry", "--n", "3", "--engine", "compiled",
+                 "--faults", "2", "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "byte-identical" not in text
+    assert (out / "compiled-summary.json").exists()
+    assert not (out / "reference-summary.json").exists()

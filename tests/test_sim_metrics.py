@@ -39,7 +39,18 @@ def test_latency_stats_empty():
     assert s.count == 0
     assert math.isnan(s.mean)
     assert s.maximum == 0
+    assert s.minimum == 0
     assert math.isnan(s.percentile(99))
+    assert math.isnan(s.percentile(0))
+
+
+def test_latency_histogram_empty():
+    s = LatencyStats()
+    counts, edges = s.histogram(bins=10)
+    assert counts.sum() == 0
+    assert len(counts) == 10
+    assert len(edges) == 11
+    assert list(edges) == sorted(edges)
 
 
 def test_latency_histogram():
@@ -76,3 +87,18 @@ def test_result_row_static_and_dynamic():
     assert row["L_avg"] == 4.0
     r2 = make_result([3, 5], attempts=100, successes=90)
     assert r2.row()["I_r(%)"] == 90.0
+
+
+def test_result_row_telemetry_columns():
+    r = make_result([3, 5])
+    assert r.telemetry is None
+    assert "link_util" not in r.row()
+    r.telemetry = {
+        "link_utilization": 0.12345,
+        "hops": {"dynamic_fraction": 0.25},
+        "occupancy": {"mean": 1.5, "peak": 4},
+    }
+    row = r.row()
+    assert row["link_util"] == 0.1235
+    assert row["dyn_hops(%)"] == 25.0
+    assert row["occ_mean"] == 1.5 and row["occ_peak"] == 4

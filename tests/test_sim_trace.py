@@ -1,16 +1,20 @@
 """Tests for the structured event tracer."""
 
+import pytest
+
+from repro.core.message import reset_message_ids
 from repro.routing import HypercubeAdaptiveRouting
 from repro.sim import ComplementTraffic, StaticInjection, make_rng
-from repro.sim.trace import TracingSimulator
+from repro.sim.trace import CompiledTracingSimulator, TracingSimulator
 from repro.topology import Hypercube
 
 
-def traced_run(n=3):
+def traced_run(n=3, cls=TracingSimulator):
+    reset_message_ids()
     cube = Hypercube(n)
     alg = HypercubeAdaptiveRouting(cube)
     inj = StaticInjection(1, ComplementTraffic(cube), make_rng(0))
-    sim = TracingSimulator(alg, inj)
+    sim = cls(alg, inj)
     sim.run(max_cycles=5_000)
     return sim
 
@@ -62,3 +66,51 @@ def test_format_timeline_readable():
     uid = next(sim.packets())
     text = sim.format_timeline(uid)
     assert "inject" in text and "deliver" in text
+
+
+#: Golden ``format_timeline`` output, captured from the original
+#: bespoke tracer before the telemetry-event-log port.  uid 0 is a
+#: plain all-A route; uid 4 includes the B-phase fold at its pivot
+#: node (same node, new queue class) — the subtlest reconstruction
+#: case.  Byte-for-byte stability is the backward-compat contract.
+GOLDEN_TIMELINES = {
+    0: (
+        "  cycle    0: inject   q[inj@0]\n"
+        "  cycle    0: enter    q[A@0]\n"
+        "  cycle    1: enter    q[A@1]\n"
+        "  cycle    3: enter    q[A@3]\n"
+        "  cycle    5: enter    q[A@7]\n"
+        "  cycle    7: deliver  q[del@7]"
+    ),
+    4: (
+        "  cycle    0: inject   q[inj@4]\n"
+        "  cycle    0: enter    q[A@4]\n"
+        "  cycle    1: enter    q[A@5]\n"
+        "  cycle    3: enter    q[A@7]\n"
+        "  cycle    4: enter    q[B@7]\n"
+        "  cycle    5: enter    q[B@3]\n"
+        "  cycle    7: deliver  q[del@3]"
+    ),
+}
+
+
+@pytest.mark.parametrize("cls", [TracingSimulator, CompiledTracingSimulator])
+def test_format_timeline_golden(cls):
+    sim = traced_run(cls=cls)
+    for uid, expected in GOLDEN_TIMELINES.items():
+        assert sim.format_timeline(uid) == expected
+
+
+def test_compiled_tracer_matches_reference():
+    ref = traced_run()
+    com = traced_run(cls=CompiledTracingSimulator)
+    assert list(ref.packets()) == list(com.packets())
+    for uid in ref.packets():
+        assert ref.timeline(uid) == com.timeline(uid)
+
+
+def test_tracer_exposes_raw_event_log():
+    sim = traced_run()
+    counts = sim.log.counts()
+    assert counts["inject"] == 8 and counts["deliver"] == 8
+    assert sim.log.to_jsonl().count("\n") == len(sim.log)

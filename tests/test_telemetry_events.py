@@ -1,0 +1,105 @@
+"""Unit tests for the event log, schema, and JSONL round-trip."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    EventLog,
+    events_jsonl,
+    read_jsonl,
+)
+
+RAW = [
+    ("inject", 0, 1, (0, 1), (1, 0)),
+    ("enqueue", 0, 1, (0, 1), "A"),
+    ("hop", 1, 1, (0, 1), (1, 1), 0, False, "A"),
+    ("hop", 2, 1, (1, 1), (1, 0), 1, True, "B"),
+    ("enqueue", 3, 1, (1, 0), "B"),
+    ("deliver", 4, 1, (1, 0), 9),
+    ("drop", 5, 2, (0, 0), "node-down"),
+    ("epoch", 5, -1, "dead_nodes=(0, 0)"),
+]
+
+
+def make_log(raw=RAW):
+    log = EventLog()
+    log.raw.extend(raw)
+    return log
+
+
+def test_schema_version_stamped_on_every_record():
+    for rec in make_log().records():
+        assert rec["v"] == SCHEMA_VERSION
+
+
+def test_canonical_order_is_cycle_then_uid():
+    log = make_log(list(reversed(RAW)))
+    order = [(ev[1], ev[2]) for ev in log.canonical()]
+    assert order == sorted(order)
+
+
+def test_record_fields_per_kind():
+    by_kind = {}
+    for rec in make_log().records():
+        by_kind.setdefault(rec["kind"], rec)
+    assert by_kind["inject"]["dst"] == [1, 0]
+    assert by_kind["enqueue"]["queue"] == "A"
+    hop = by_kind["hop"]
+    assert hop["src"] == [0, 1] and hop["node"] == [1, 1]
+    assert hop["dyn"] is False and hop["cls"] == 0
+    assert by_kind["deliver"]["latency"] == 9
+    assert by_kind["drop"]["reason"] == "node-down"
+    assert by_kind["epoch"]["desc"].startswith("dead_nodes")
+    assert "uid" not in by_kind["epoch"]
+
+
+def test_jsonl_is_deterministic_and_compact():
+    text = make_log().to_jsonl()
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        rec = json.loads(line)
+        # keys sorted, no whitespace
+        assert line == json.dumps(rec, sort_keys=True, separators=(",", ":"))
+    assert events_jsonl([]) == ""
+
+
+def test_round_trip_restores_node_tuples():
+    recs = list(read_jsonl(make_log().to_jsonl()))
+    inject = next(r for r in recs if r["kind"] == "inject")
+    assert inject["node"] == (0, 1)
+    assert inject["dst"] == (1, 0)
+    hop = next(r for r in recs if r["kind"] == "hop")
+    assert hop["src"] == (0, 1)
+
+
+def test_read_rejects_unknown_schema():
+    bad = json.dumps({"v": SCHEMA_VERSION + 1, "kind": "inject"})
+    with pytest.raises(ValueError, match="unsupported event schema"):
+        list(read_jsonl(bad))
+
+
+def test_counts():
+    assert make_log().counts() == {
+        "inject": 1,
+        "enqueue": 2,
+        "hop": 2,
+        "deliver": 1,
+        "drop": 1,
+        "epoch": 1,
+    }
+
+
+def test_timelines_group_by_uid_and_skip_epochs():
+    tl = make_log().timelines()
+    assert set(tl) == {1, 2}
+    assert [r["kind"] for r in tl[1]] == [
+        "inject",
+        "enqueue",
+        "hop",
+        "hop",
+        "enqueue",
+        "deliver",
+    ]
+    assert [r["kind"] for r in tl[2]] == ["drop"]
