@@ -217,9 +217,16 @@ def cmd_telemetry(args) -> int:
     from .sim import StaticInjection
     from .telemetry import TelemetryProbe, write_artifacts
 
-    engines = (
-        ("reference", "compiled") if args.engine == "both" else (args.engine,)
-    )
+    if args.engine == "both":
+        engines = ("reference", "compiled")
+    elif args.engine == "all":
+        # The vector engine takes no fault observers; under --faults the
+        # harness would remap it to compiled, so compare it healthy only.
+        engines = ("reference", "compiled") + (
+            () if args.faults else ("vector",)
+        )
+    else:
+        engines = (args.engine,)
     outdir = Path(args.out)
     logs: dict[str, str] = {}
     for engine in engines:
@@ -256,8 +263,9 @@ def cmd_telemetry(args) -> int:
         for name in sorted(paths):
             print(f"  {name}: {paths[name]}")
         logs[engine] = probe.log.to_jsonl()
-    if len(logs) == 2:
-        identical = logs["reference"] == logs["compiled"]
+    if len(logs) >= 2:
+        baseline = logs["reference"]
+        identical = all(log == baseline for log in logs.values())
         print(
             "event logs byte-identical across engines:",
             "yes" if identical else "NO",
@@ -369,10 +377,11 @@ def build_parser() -> argparse.ArgumentParser:
     tm.add_argument("--seed", type=int, default=0)
     tm.add_argument(
         "--engine",
-        choices=("reference", "compiled", "both"),
+        choices=("reference", "compiled", "vector", "both", "all"),
         default="both",
-        help="engine(s) to run; 'both' also checks the event logs "
-        "are byte-identical",
+        help="engine(s) to run; 'both' (reference+compiled) and 'all' "
+        "(+vector, healthy runs only) also check the event logs are "
+        "byte-identical",
     )
     tm.add_argument("--out", default="telemetry-out",
                     help="artifact output directory")

@@ -29,6 +29,8 @@ from ..routing.hypercube import (
 from ..sim.compiled import CompiledPacketSimulator
 from ..sim.engine import PacketSimulator
 from ..sim.fastcube import FastHypercubeSimulator
+from ..sim.tables import EngineCapabilityError
+from ..sim.vector import VectorSimulator
 from ..sim.injection import DynamicInjection, InjectionModel, StaticInjection
 from ..sim.metrics import SimulationResult
 from ..sim.rng import make_rng
@@ -44,7 +46,17 @@ SCALES: dict[str, tuple[int, ...]] = {
 }
 
 #: Engine names accepted by :func:`build_simulator` / ``REPRO_ENGINE``.
-ENGINES: tuple[str, ...] = ("auto", "reference", "compiled", "fast")
+ENGINES: tuple[str, ...] = ("auto", "reference", "compiled", "fast", "vector")
+
+#: One-screen engine capability matrix, embedded in selection errors.
+#: The canonical (maintained) version lives in docs/ARCHITECTURE.md.
+ENGINE_MATRIX = """\
+engine     topologies        faults  observers  trace  speed (relative)
+reference  any               yes     yes        yes    1x
+compiled   any               yes     yes        yes    ~2-5x
+fast       hypercube only    no      no         no     ~3-10x
+vector     any               no      telemetry  no     ~10-40x
+(auto = fast when eligible, else compiled; see docs/ARCHITECTURE.md)"""
 
 
 def engine_choice(default: str = "auto") -> str:
@@ -96,34 +108,54 @@ def build_simulator(
     * ``reference`` — the generic :class:`PacketSimulator`;
     * ``compiled``  — :class:`CompiledPacketSimulator`, the plan-cache
       engine (any algorithm, packet-for-packet identical);
-    * ``fast``      — :class:`FastHypercubeSimulator` (raises
-      ``TypeError`` for unsupported algorithms);
+    * ``fast``      — :class:`FastHypercubeSimulator`; hypercube-only —
+      any other algorithm raises
+      :class:`~repro.sim.tables.EngineCapabilityError` with the engine
+      matrix in the message;
+    * ``vector``    — :class:`~repro.sim.vector.VectorSimulator`, the
+      table-driven engine (any topology, packet-identical; hashable
+      states, telemetry probes yes, fault observers / tracing no);
     * ``auto``      — ``fast`` when the algorithm qualifies, otherwise
-      ``compiled``.
+      ``compiled``.  ``auto`` never picks ``vector``: the vector
+      engine rejects fault observers and tracing outright rather than
+      degrading, so it stays opt-in (``REPRO_ENGINE=vector``).
 
-    All three subclasses share the reference engine's semantics, so the
-    choice never changes results, only throughput.
+    Every engine implements the reference engine's exact Section-7.1
+    semantics, so the choice never changes results, only throughput —
+    see the engine matrix in ``docs/ARCHITECTURE.md`` for what each
+    supports.
 
     ``telemetry`` (True or a :class:`~repro.telemetry.TelemetryProbe`)
-    attaches instrumentation; probes need the generic observer loop, so
-    they disqualify the fast engine under ``auto`` and are an error
-    with an explicit ``engine="fast"``.
+    attaches instrumentation; probes need an observer hook, which the
+    fast engine lacks — so they disqualify it under ``auto`` and are an
+    error with an explicit ``engine="fast"``.  The vector engine
+    drives probes itself (buffered columnar events).
     """
     name = engine_choice() if engine is None else engine
     if name not in ENGINES:
         raise ValueError(f"engine={name!r}; expected one of {ENGINES}")
     probe = resolve_probe(telemetry)
     if name == "fast":
+        if not _fast_eligible(algorithm):
+            raise EngineCapabilityError(
+                f"engine='fast' supports the hypercube two-phase "
+                f"algorithms only, not {type(algorithm).__name__} on "
+                f"{algorithm.topology.name}; use 'compiled' or 'vector' "
+                f"for generic topologies.\n{ENGINE_MATRIX}"
+            )
         if probe is not None:
             raise ValueError(
-                "telemetry probes need the generic engines' observer "
-                "loop; the fast engine has none — use engine='compiled'"
+                "telemetry probes need an observer hook; the fast "
+                "engine has none — use engine='compiled' or "
+                f"engine='vector'.\n{ENGINE_MATRIX}"
             )
         return FastHypercubeSimulator(algorithm, model, **kwargs)
     if name == "reference":
         sim = PacketSimulator(algorithm, model, **kwargs)
     elif name == "compiled":
         sim = CompiledPacketSimulator(algorithm, model, **kwargs)
+    elif name == "vector":
+        sim = VectorSimulator(algorithm, model, **kwargs)
     # auto: prefer the specialized engine, fall back to the compiled
     # generic engine (both are packet-for-packet identical).  Callers
     # should omit generic-only kwargs they don't need, since their mere

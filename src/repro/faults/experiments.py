@@ -54,7 +54,9 @@ def make_fault_simulator(
 
     Wraps ``algorithm`` in :class:`FaultAwareRouting`, builds the
     requested engine (``auto`` resolves to the compiled engine — the
-    adapter disqualifies the hypercube-only fast engine), and attaches
+    adapter disqualifies the hypercube-only fast engine, and the vector
+    engine accepts no fault observers, so ``fast`` and ``vector`` both
+    fall back to ``auto`` here), and attaches
     the :class:`FaultInjector` first, then (optionally) the
     :class:`DeadlockWatchdog`, in that order: the injector must update
     the epoch — and get the chance to suppress transient stalls —
@@ -64,9 +66,10 @@ def make_fault_simulator(
     """
     adapter = FaultAwareRouting(algorithm, detour=detour)
     resolved = engine_choice() if engine is None else engine
-    if resolved == "fast":
-        # the adapter is never fast-eligible; honor a REPRO_ENGINE=fast
-        # default by falling back instead of raising
+    if resolved in ("fast", "vector"):
+        # the adapter is never fast-eligible, and the vector engine
+        # accepts no fault observers; honor a REPRO_ENGINE default of
+        # either by falling back instead of raising
         resolved = "auto"
     sim = build_simulator(adapter, model, engine=resolved, **kwargs)
     sim.add_observer(FaultInjector(schedule, adapter))

@@ -10,6 +10,8 @@ from .engine import (
 from .fastcube import FastHypercubeSimulator
 from .injection import DynamicInjection, InjectionModel, StaticInjection
 from .plans import CentralPlan, RoutingPlanCache
+from .tables import EngineCapabilityError, RoutingTables
+from .vector import VectorSimulator
 from .metrics import LatencyStats, SimulationResult
 from .rng import make_rng
 from .trace import CompiledTracingSimulator, TraceEvent, TracingSimulator
@@ -33,6 +35,9 @@ __all__ = [
     "PacketSimulator",
     "CompiledPacketSimulator",
     "FastHypercubeSimulator",
+    "VectorSimulator",
+    "RoutingTables",
+    "EngineCapabilityError",
     "RoutingPlanCache",
     "CentralPlan",
     "DeadlockError",

@@ -37,6 +37,16 @@ objects drive both, so a run with the same seed produces identical
 per-packet latencies on every topology
 (``tests/test_sim_compiled.py`` cross-validates this, including the
 LIFO and rotating-policy variants).
+
+**Identity guarantees and limitations** (engine matrix:
+``docs/ARCHITECTURE.md``): packet-for-packet identical to the
+reference engine on every topology, including byte-identical canonical
+telemetry event logs, with the *full* feature surface — fault
+observers, telemetry probes, route tracing, service/policy variants.
+The only behavioral caveat is performance-shaped: unhashable routing
+states skip the plan cache and fall back to direct evaluation (still
+identical, merely slower).  This is the engine ``auto`` selects for
+everything the specialized fast engine cannot run.
 """
 
 from __future__ import annotations

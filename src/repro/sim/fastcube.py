@@ -16,9 +16,16 @@ seed produces identical per-packet latencies.  The test-suite
 cross-validates this packet-for-packet
 (``tests/test_sim_fastcube.py``).
 
-Restrictions: hypercube topology; the fully-adaptive (default) or hung
-(``dynamic_links=False``) algorithm; everything else matches
-:class:`PacketSimulator` (central capacity, stall watchdog, metrics).
+Restrictions (engine matrix: ``docs/ARCHITECTURE.md``): hypercube
+topology with the fully-adaptive (default) or hung
+(``dynamic_links=False``) algorithm only; **no observer hook** — so no
+fault injection, no telemetry probes, no route tracing — and FIFO
+service with the paper buffer policy only.  ``build_simulator``
+enforces all of this up front: a non-qualifying algorithm raises
+:class:`~repro.sim.tables.EngineCapabilityError` and a telemetry
+request raises ``ValueError``, each carrying the engine matrix.
+Everything within that envelope matches :class:`PacketSimulator`
+(central capacity, stall watchdog, metrics).
 """
 
 from __future__ import annotations

@@ -1,0 +1,280 @@
+"""Integer routing tables: the vector engine's compilation layer.
+
+:class:`RoutingTables` lowers one
+:class:`~repro.core.routing_function.RoutingAlgorithm` — *any*
+algorithm, on any topology — onto dense integer identifiers so an
+engine can run the paper's node cycle without hashing a single label
+object on the hot path:
+
+* nodes are interned ``0..N-1`` in ``topology.nodes()`` order (the
+  reference engine's node order);
+* central queues get global ids ``0..n_queues-1``, node-major in
+  ``central_queue_kinds`` order;
+* link buffers get global *slot* ids, node-major and low-to-high
+  ``link_index`` within a node, classes in ``buffer_classes`` order —
+  so slot-ascending order **is** the reference engine's output-buffer
+  fill order, and slot-ascending order per receiving node **is** the
+  reference engine's input-buffer rotation order;
+* routing states are interned lazily to small ints (states must be
+  hashable; :class:`EngineCapabilityError` otherwise — the reference
+  and compiled engines remain available for unhashable-state
+  algorithms).
+
+On top of the static structure, three lazily-memoized row tables mirror
+:class:`~repro.sim.plans.RoutingPlanCache` (which this class wraps, so
+the first-wins external-candidate semantics, statics-before-dynamics
+order and the forced-phase-switch entry fold are *the same code* the
+compiled engine trusts):
+
+* :meth:`central_row` — ``(queue, dst, state) ->`` parallel tuples of
+  external candidates (slot / next queue / next state / dynamic flag,
+  slot-ascending) plus internal ``(action, queue, state)`` steps;
+* :meth:`entry_row` — where a packet nominally heading for a queue
+  actually lands after the entry fold;
+* :meth:`injection_row` — resolved injection targets in the reference
+  engine's ``sorted(targets)`` order.
+
+Rows contain only ints, so the engine's per-message work is integer
+compares and array indexing; identity with the reference engine is
+established by ``tests/test_sim_vector.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+import numpy as np
+
+from ..core.queues import QueueId
+from ..core.routing_function import RoutingAlgorithm
+from .plans import DELIVER_STEP, SELF_STEP, RoutingPlanCache
+
+__all__ = ["EngineCapabilityError", "RoutingTables"]
+
+
+class EngineCapabilityError(TypeError):
+    """A requested engine cannot run the requested configuration.
+
+    Raised with a message that names the limitation and the engines
+    that do support the configuration (see the engine matrix in
+    ``docs/ARCHITECTURE.md``).
+    """
+
+
+class RoutingTables:
+    """Dense integer lowering of one routing algorithm + topology.
+
+    One instance may be shared by several
+    :class:`~repro.sim.vector.VectorSimulator` objects built around the
+    *same* algorithm instance (rows are pure functions of
+    ``(queue, dst, state)``), mirroring how
+    :class:`~repro.sim.plans.RoutingPlanCache` is shared by compiled
+    simulators.
+    """
+
+    def __init__(self, algorithm: RoutingAlgorithm):
+        self.algorithm = algorithm
+        self.plans = RoutingPlanCache(algorithm)
+        topo = algorithm.topology
+
+        # ---- node interning (reference engine node order) -------------
+        self.nodes: list[Hashable] = list(topo.nodes())
+        self.nid: dict[Hashable, int] = {u: i for i, u in enumerate(self.nodes)}
+        n = len(self.nodes)
+
+        # ---- central queues: global ids, node-major ----------------------
+        self.node_qids: list[list[int]] = []
+        self.queue_node: list[int] = []
+        self.queue_kind: list[str] = []
+        self.qid_of: dict[tuple[int, str], int] = {}
+        for ui, u in enumerate(self.nodes):
+            ids = []
+            for kind in algorithm.central_queue_kinds(u):
+                qid = len(self.queue_node)
+                self.qid_of[(ui, kind)] = qid
+                self.queue_node.append(ui)
+                self.queue_kind.append(kind)
+                ids.append(qid)
+            self.node_qids.append(ids)
+        self.n_queues = len(self.queue_node)
+        #: Interned QueueId per global queue id (for row construction).
+        self.queue_objs: list[QueueId] = [
+            QueueId(self.nodes[self.queue_node[q]], self.queue_kind[q])
+            for q in range(self.n_queues)
+        ]
+
+        # ---- link buffer slots: global ids, node-major, low-to-high ----
+        self.slot_src: list[int] = []
+        self.slot_dst: list[int] = []
+        self.slot_cls: list[str] = []
+        self.slot_of: dict[tuple[int, int, str], int] = {}
+        self.node_out_start: list[int] = []
+        self.node_out_count: list[int] = []
+        #: ``(u_label, v_label) -> classes`` in reference insertion order
+        #: (telemetry probes read ``len(sim.link_classes)``).
+        self.link_classes: dict[tuple, tuple[str, ...]] = {}
+        link_slot_lists: dict[int, list[list[int]]] = {}
+        for ui, u in enumerate(self.nodes):
+            self.node_out_start.append(len(self.slot_src))
+            nbrs = sorted(
+                topo.neighbors(u), key=lambda v: topo.link_index(u, v)
+            )
+            for v in nbrs:
+                classes = algorithm.buffer_classes(u, v)
+                self.link_classes[(u, v)] = classes
+                vi = self.nid[v]
+                slots = []
+                for cls in classes:
+                    s = len(self.slot_src)
+                    self.slot_of[(ui, vi, cls)] = s
+                    self.slot_src.append(ui)
+                    self.slot_dst.append(vi)
+                    self.slot_cls.append(cls)
+                    slots.append(s)
+                link_slot_lists.setdefault(len(slots), []).append(slots)
+            self.node_out_count.append(
+                len(self.slot_src) - self.node_out_start[-1]
+            )
+        self.n_slots = len(self.slot_src)
+
+        # Input-side view: reference ``in_keys[v]`` appends in outer
+        # sender-node order, so it equals "slots with slot_dst == v,
+        # ascending global slot id".
+        self.node_in_slots: list[list[int]] = [[] for _ in range(n)]
+        self.slot_in_pos: list[int] = [0] * self.n_slots
+        for s in range(self.n_slots):
+            vi = self.slot_dst[s]
+            self.slot_in_pos[s] = len(self.node_in_slots[vi])
+            self.node_in_slots[vi].append(s)
+
+        #: Directed links grouped by class count ``k``: an ``(L, k)``
+        #: int array of slot ids per group.  Per-link class rotation is
+        #: ``cycle % k``, exactly the reference engine's ``rotated``.
+        self.link_groups: dict[int, np.ndarray] = {
+            k: np.asarray(v, dtype=np.int64)
+            for k, v in link_slot_lists.items()
+        }
+
+        # ---- state interning + row memos -------------------------------
+        self.states: list[Any] = []
+        self._state_ids: dict[Any, int] = {}
+        self._central: dict[tuple[int, int, int], tuple] = {}
+        self._entry: dict[tuple[int, int, int], tuple[int, int]] = {}
+        self._inject: dict[tuple[int, int, int], tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def state_id(self, state: Any) -> int:
+        """Small-int id of a routing state (interned on first use)."""
+        try:
+            sid = self._state_ids.get(state)
+        except TypeError as exc:
+            raise EngineCapabilityError(
+                f"the vector engine requires hashable routing states; "
+                f"{self.algorithm.name} produced {state!r} — use "
+                "engine='reference' or engine='compiled' "
+                "(see docs/ARCHITECTURE.md)"
+            ) from exc
+        if sid is None:
+            sid = self._state_ids[state] = len(self.states)
+            self.states.append(state)
+        return sid
+
+    @property
+    def size(self) -> int:
+        """Total number of memoized rows (all three tables)."""
+        return len(self._central) + len(self._entry) + len(self._inject)
+
+    # ------------------------------------------------------------------
+    # Row tables
+    # ------------------------------------------------------------------
+    def central_row(self, qid: int, dst_i: int, sid: int) -> tuple:
+        """Fill-phase row for a message in central queue ``qid``.
+
+        Returns ``(ext_slots, ext_queues, ext_states, ext_dyn,
+        internal)`` — four parallel tuples of external candidates
+        sorted slot-ascending (first-wins per physical buffer, statics
+        before dynamics, exactly :class:`RoutingPlanCache`), plus the
+        internal ``(action, queue_id, state_id)`` steps in reference
+        order (``queue_id`` is -1 for delivery).
+        """
+        key = (qid, dst_i, sid)
+        row = self._central.get(key)
+        if row is None:
+            row = self._central[key] = self._build_central(qid, dst_i, sid)
+        return row
+
+    def _build_central(self, qid: int, dst_i: int, sid: int) -> tuple:
+        plan = self.plans.central_plan(
+            self.queue_objs[qid], self.nodes[dst_i], self.states[sid]
+        )
+        ui = self.queue_node[qid]
+        ext = []
+        for (v, cls), (q2, new_state, dyn) in plan.external.items():
+            # Candidates without a physical buffer are unreachable in
+            # the reference engine too; drop them (after first-wins).
+            s = self.slot_of.get((ui, self.nid[v], cls))
+            if s is not None:
+                ext.append(
+                    (
+                        s,
+                        self.qid_of[(self.nid[q2.node], q2.kind)],
+                        self.state_id(new_state),
+                        1 if dyn else 0,
+                    )
+                )
+        ext.sort()
+        internal = tuple(
+            (
+                action,
+                -1
+                if action == DELIVER_STEP
+                else self.qid_of[(ui, q2.kind)],
+                sid if action == DELIVER_STEP else self.state_id(st),
+            )
+            for action, q2, st in plan.internal
+        )
+        return (
+            tuple(c[0] for c in ext),
+            tuple(c[1] for c in ext),
+            tuple(c[2] for c in ext),
+            tuple(c[3] for c in ext),
+            internal,
+        )
+
+    def entry_row(self, qid: int, dst_i: int, sid: int) -> tuple[int, int]:
+        """Where a packet nominally targeting ``qid`` actually lands.
+
+        The forced-phase-switch fold of
+        ``PacketSimulator._resolve_entry_queue``, on ints.
+        """
+        key = (qid, dst_i, sid)
+        row = self._entry.get(key)
+        if row is None:
+            q2, st = self.plans.entry(
+                self.queue_objs[qid], self.nodes[dst_i], self.states[sid]
+            )
+            row = self._entry[key] = (
+                self.qid_of[(self.nid[q2.node], q2.kind)],
+                self.state_id(st),
+            )
+        return row
+
+    def injection_row(self, ui: int, dst_i: int, sid: int) -> tuple:
+        """Resolved injection targets: ``((queue_id, state_id), ...)``
+        in the reference engine's ``sorted(targets)`` order."""
+        key = (ui, dst_i, sid)
+        row = self._inject.get(key)
+        if row is None:
+            plan = self.plans.injection_plan(
+                self.nodes[ui], self.nodes[dst_i], self.states[sid]
+            )
+            row = self._inject[key] = tuple(
+                (
+                    self.qid_of[(self.nid[q2.node], q2.kind)],
+                    self.state_id(st),
+                )
+                for _kind, q2, st in plan
+            )
+        return row

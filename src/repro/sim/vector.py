@@ -1,0 +1,676 @@
+"""Vectorized table-driven engine (any algorithm, any topology).
+
+:class:`VectorSimulator` executes the paper's Section-7.1 routing cycle
+over the integer tables of :class:`~repro.sim.tables.RoutingTables`:
+messages live in parallel int arrays (destination, state id, nominal
+target queue, injection cycle), link buffers are numpy int arrays
+holding message indices, and the link cycle runs as batched numpy
+operations over whole class-groups of links at once.  The node cycle
+only visits nodes that can act — nodes with queued messages in the
+fill phase, nodes with occupied input/injection buffers in the read
+phase — so an idle region of a 4096-node network costs (almost)
+nothing, where the generic engines pay per node per cycle.
+
+**Identity guarantees.**  Packet-for-packet identical to
+:class:`~repro.sim.engine.PacketSimulator` at equal seeds on every
+topology: same latencies, cycle counts, injection statistics, and a
+byte-identical canonical telemetry event log
+(``tests/test_sim_vector.py``).  The fill phase replays the compiled
+engine's message-major greedy matching (provably equal to the
+reference engine's buffer-major loop under aligned preference orders),
+the read phase replays the rotating input fairness through the slot-id
+order that equals ``in_keys``, and the link cycle's class rotation is
+``cycle % k`` per ``k``-class link — the same ``rotated`` the
+reference engine uses.
+
+**Limitations** (each raises a descriptive
+:class:`~repro.sim.tables.EngineCapabilityError` — the engine never
+silently degrades; see the engine matrix in ``docs/ARCHITECTURE.md``):
+
+* routing states must be hashable (interned to table ids);
+* no generic observer loop: the only observer accepted is a
+  :class:`~repro.telemetry.TelemetryProbe`, which this engine drives
+  itself (below).  Fault injectors and watchdogs need the reference or
+  compiled engine — ``repro.faults.experiments.make_fault_simulator``
+  therefore maps ``engine="vector"`` to ``"auto"``;
+* no per-hop tracing (``trace=True``) and no ``delivered_messages``
+  capture.
+
+**Telemetry.**  Events are buffered *columnar* during the run — flat
+int lists per event kind, no tuple or label allocation on the hot
+path — and materialized once at run end, stable-sorted by
+``(cycle, uid)``: exactly the canonical order of
+:meth:`~repro.telemetry.events.EventLog.canonical`, so JSONL output is
+byte-identical with the generic engines.  Metrics-only probes receive
+the same canonical stream through their sink; occupancy histograms are
+fed via bucketed bulk counts (``Histogram.observe_many``) at the same
+sampling points the probe's own ``on_cycle`` would use.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from ..core.message import Message
+from ..core.routing_function import RoutingAlgorithm
+from .engine import CycleLimitExceeded, DeadlockError
+from .injection import InjectionModel
+from .metrics import LatencyStats, SimulationResult
+from .plans import DELIVER_STEP, SELF_STEP
+from .tables import EngineCapabilityError, RoutingTables
+
+__all__ = ["VectorSimulator"]
+
+
+class VectorSimulator:
+    """Table-driven engine; drop-in for :class:`PacketSimulator` runs."""
+
+    def __init__(
+        self,
+        algorithm: RoutingAlgorithm,
+        injection: InjectionModel,
+        central_capacity: int = 5,
+        stall_limit: int = 1000,
+        trace: bool = False,
+        collect_occupancy: bool = False,
+        occupancy_sample_every: int = 1,
+        policy: str = "paper",
+        service: str = "fifo",
+        tables: RoutingTables | None = None,
+    ):
+        if policy not in ("paper", "rotating"):
+            raise ValueError("policy must be 'paper' or 'rotating'")
+        if service not in ("fifo", "lifo"):
+            raise ValueError("service must be 'fifo' or 'lifo'")
+        if trace:
+            raise EngineCapabilityError(
+                "the vector engine does not record per-hop traces; use "
+                "engine='reference' or engine='compiled' "
+                "(see docs/ARCHITECTURE.md)"
+            )
+        self.algorithm = algorithm
+        self.topology = algorithm.topology
+        self.injection = injection
+        self.central_capacity = central_capacity
+        self.stall_limit = stall_limit
+        self.trace = False
+        self.collect_occupancy = collect_occupancy
+        self.occupancy_sample_every = occupancy_sample_every
+        self.policy = policy
+        self.service = service
+
+        self.tables = (
+            tables if tables is not None else RoutingTables(algorithm)
+        )
+        if self.tables.algorithm is not algorithm:
+            raise ValueError("tables were built for a different algorithm")
+        t = self.tables
+
+        #: Node labels in reference order (injection models iterate this).
+        self.nodes: list[Hashable] = t.nodes
+        self._nid = t.nid
+        self.link_classes = t.link_classes
+        self._n_in = [len(s) for s in t.node_in_slots]
+        self._slot_pos = t.slot_in_pos
+        self._slot_src = t.slot_src
+        self._slot_dst = t.slot_dst
+        # Per class-count k: contiguous per-class slot columns, so the
+        # link cycle gathers without re-slicing each cycle.
+        self._link_cols: dict[int, list[np.ndarray]] = {
+            k: [np.ascontiguousarray(mat[:, j]) for j in range(k)]
+            for k, mat in t.link_groups.items()
+        }
+
+        # ---- dynamic state ---------------------------------------------
+        #: Central queues: one python list of message indices per qid.
+        self._q: list[list[int]] = [[] for _ in range(t.n_queues)]
+        #: Queued messages per node + the set of nodes with any.
+        self._load: list[int] = [0] * len(self.nodes)
+        self._busy: set[int] = set()
+        #: Injection buffers (message index or -1) + occupied-node set.
+        self._inj: list[int] = [-1] * len(self.nodes)
+        self._inj_busy: set[int] = set()
+        #: Link buffers as message-index arrays (-1 = empty).
+        self._out = np.full(t.n_slots, -1, dtype=np.int64)
+        self._in = np.full(t.n_slots, -1, dtype=np.int64)
+
+        # Parallel per-message storage (index = registration order).
+        self._mobj: list[Message] = []
+        self._muid: list[int] = []
+        self._mdst: list[int] = []
+        self._mstate: list[int] = []
+        self._mtarget: list[int] = []
+        self._minj: list[int] = []
+        self._msig_q: list[int] = []
+        self._msig_st: list[int] = []
+        self._mrow: list[tuple | None] = []
+
+        # Bookkeeping (same contract as the reference engine).
+        self.cycle = 0
+        self.injected_count = 0
+        self.delivered_count = 0
+        self.active = 0
+        self.latency = LatencyStats()
+        self.measure_from = getattr(injection, "warmup", 0)
+        self._last_progress = 0
+        self.dead_nodes: frozenset = frozenset()
+        self.blocked_links: frozenset = frozenset()
+        self._events = None  # sink installed by TelemetryProbe.attach
+        self._probe = None
+        self._recording = False
+
+        # Columnar event buffers (flat int lists; flushed at run end).
+        self._ev_inject: list[int] = []  # (cycle, mi, node) triples
+        self._ev_enqueue: list[int] = []  # (cycle, mi, qid) triples
+        self._ev_hop: list[int] = []  # (cycle, mi, slot, dyn, qid) 5-tuples
+        self._ev_deliver: list[int] = []  # (cycle, mi) pairs
+
+        # Occupancy accounting (engine-level collect_occupancy).
+        self._occ_sum = None
+        self._occ_peak = None
+        self.occupancy_samples = 0
+        # Buffered probe occupancy series: (cycle, per-queue lengths).
+        self._series_buf: list[tuple[int, np.ndarray]] = []
+
+    # ------------------------------------------------------------------
+    # Observer interface (telemetry probes only)
+    # ------------------------------------------------------------------
+    def add_observer(self, observer) -> None:
+        """Accept a telemetry probe; reject everything else loudly."""
+        from ..telemetry.probe import TelemetryProbe
+
+        if isinstance(observer, TelemetryProbe):
+            self._probe = observer
+            return
+        raise EngineCapabilityError(
+            f"the vector engine has no generic observer loop and cannot "
+            f"attach {type(observer).__name__}; fault injectors and "
+            "watchdogs need engine='reference' or engine='compiled' "
+            "(see docs/ARCHITECTURE.md)"
+        )
+
+    # ------------------------------------------------------------------
+    # Injection-model interface
+    # ------------------------------------------------------------------
+    def injection_queue_free(self, u: Hashable) -> bool:
+        return self._inj[self._nid[u]] == -1
+
+    def place_in_injection_queue(
+        self, u: Hashable, msg: Message, cycle: int
+    ) -> None:
+        ui = self._nid[u]
+        if self._inj[ui] != -1:
+            raise RuntimeError(f"injection queue at {u} occupied")
+        msg.injected_cycle = cycle
+        mi = len(self._muid)
+        self._mobj.append(msg)
+        self._muid.append(msg.uid)
+        self._mdst.append(self._nid[msg.dst])
+        self._mstate.append(self.tables.state_id(msg.state))
+        self._mtarget.append(-1)
+        self._minj.append(cycle)
+        self._msig_q.append(-1)
+        self._msig_st.append(-1)
+        self._mrow.append(None)
+        self._inj[ui] = mi
+        self._inj_busy.add(ui)
+        self.injected_count += 1
+        self.active += 1
+        self._last_progress = cycle
+        if self._recording:
+            self._ev_inject.extend((cycle, mi, ui))
+
+    # ------------------------------------------------------------------
+    # One routing cycle
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        cycle = self.cycle
+        # The sink is installed by attach() after construction.
+        self._recording = self._events is not None
+        probe = self._probe
+        if probe is not None and probe.enabled:
+            if cycle % probe.occupancy_every == 0:
+                self._probe_sample(probe)
+        self.injection.attempt(self, cycle)
+        if self._busy:
+            for ui in list(self._busy):
+                self._fill_node(ui, cycle)
+        self._read_inputs(cycle)
+        self._link_cycle(cycle)
+        if self.collect_occupancy and cycle % self.occupancy_sample_every == 0:
+            self._sample_occupancy()
+        self.cycle += 1
+        if (
+            self.active > 0
+            and self.cycle - self._last_progress > self.stall_limit
+        ):
+            raise DeadlockError(
+                f"no progress for {self.stall_limit} cycles at cycle "
+                f"{self.cycle} with {self.active} active packets "
+                f"({self.algorithm.name})"
+            )
+
+    # -- node cycle, part 1: queues -> output buffers + internal moves ----
+    def _fill_node(self, ui: int, cycle: int) -> None:
+        t = self.tables
+        Q = self._q
+        active = []
+        maxlen = 0
+        for qid in t.node_qids[ui]:
+            q = Q[qid]
+            if q:
+                active.append((qid, q))
+                if len(q) > maxlen:
+                    maxlen = len(q)
+
+        out = self._out
+        base = t.node_out_start[ui]
+        n_keys = t.node_out_count[ui]
+        start = (
+            cycle % n_keys
+            if (self.policy == "rotating" and n_keys)
+            else 0
+        )
+        mstate = self._mstate
+        mdst = self._mdst
+        msig_q = self._msig_q
+        msig_st = self._msig_st
+        mrow = self._mrow
+        central_row = t.central_row
+        recording = self._recording
+        removed: dict[int, list[int]] = {}
+        delta: dict[int, int] = {}
+        pending: list[tuple] = []
+        load_delta = 0
+
+        # Message-major assignment in service order (positions
+        # ascending for FIFO / descending for LIFO, queue-id ascending
+        # as the tie-break) — the compiled engine's loop, on ints.
+        positions = (
+            range(maxlen)
+            if self.service == "fifo"
+            else range(maxlen - 1, -1, -1)
+        )
+        for pos in positions:
+            for qid, q in active:
+                if pos >= len(q):
+                    continue
+                mi = q[pos]
+                st = mstate[mi]
+                if msig_q[mi] == qid and msig_st[mi] == st:
+                    row = mrow[mi]
+                else:
+                    row = central_row(qid, mdst[mi], st)
+                    msig_q[mi] = qid
+                    msig_st[mi] = st
+                    mrow[mi] = row
+                ext_slots = row[0]
+                chosen = -1
+                if ext_slots:
+                    if start:
+                        # "rotating": minimum rank from the cycle's
+                        # starting slot.
+                        best = n_keys
+                        for j, s in enumerate(ext_slots):
+                            if out[s] == -1:
+                                r = s - base - start
+                                if r < 0:
+                                    r += n_keys
+                                if r < best:
+                                    best = r
+                                    chosen = j
+                    else:
+                        # "paper": slot-ascending, first free wins.
+                        for j, s in enumerate(ext_slots):
+                            if out[s] == -1:
+                                chosen = j
+                                break
+                if chosen >= 0:
+                    s = ext_slots[chosen]
+                    removed.setdefault(qid, []).append(pos)
+                    delta[qid] = delta.get(qid, 0) - 1
+                    load_delta -= 1
+                    mstate[mi] = row[2][chosen]
+                    tq = row[1][chosen]
+                    self._mtarget[mi] = tq
+                    out[s] = mi
+                    self._last_progress = cycle
+                    if recording:
+                        self._ev_hop.extend(
+                            (cycle, mi, s, row[3][chosen], tq)
+                        )
+                elif row[4]:
+                    pending.append((qid, pos, mi, row[4]))
+
+        # Internal moves (phase change, delivery, self-state updates).
+        cap = self.central_capacity
+        for qid, pos, mi, internal in pending:
+            for action, tq, tst in internal:
+                if action == DELIVER_STEP:
+                    removed.setdefault(qid, []).append(pos)
+                    delta[qid] = delta.get(qid, 0) - 1
+                    load_delta -= 1
+                    self._deliver(mi, cycle)
+                    break
+                if action == SELF_STEP:
+                    mstate[mi] = tst
+                    self._last_progress = cycle
+                    if recording:
+                        self._ev_enqueue.extend((cycle, mi, tq))
+                    break
+                # MOVE_STEP: sibling central queue, capacity permitting.
+                if len(Q[tq]) + delta.get(tq, 0) < cap:
+                    removed.setdefault(qid, []).append(pos)
+                    delta[qid] = delta.get(qid, 0) - 1
+                    mstate[mi] = tst
+                    Q[tq].append(mi)
+                    self._last_progress = cycle
+                    if recording:
+                        self._ev_enqueue.extend((cycle, mi, tq))
+                    break
+
+        # One compaction per touched queue (deferred pops).
+        for qid, poplist in removed.items():
+            q = Q[qid]
+            drop = set(poplist)
+            Q[qid] = [m for i, m in enumerate(q) if i not in drop]
+        if load_delta:
+            load = self._load[ui] + load_delta
+            self._load[ui] = load
+            if not load:
+                self._busy.discard(ui)
+
+    # -- node cycle, part 2: input + injection buffers -> queues ----------
+    def _read_inputs(self, cycle: int) -> None:
+        in_buf = self._in
+        arrivals = np.flatnonzero(in_buf != -1)
+        per_node: dict[int, list[int]] = {}
+        if arrivals.size:
+            slot_dst = self._slot_dst
+            for s in arrivals.tolist():
+                per_node.setdefault(slot_dst[s], []).append(s)
+        targets = set(per_node)
+        targets.update(self._inj_busy)
+        if not targets:
+            return
+
+        t = self.tables
+        Q = self._q
+        cap = self.central_capacity
+        mstate = self._mstate
+        mdst = self._mdst
+        mtarget = self._mtarget
+        slot_pos = self._slot_pos
+        entry_row = t.entry_row
+        injection_row = t.injection_row
+        recording = self._recording
+        for ui in targets:
+            n_in = self._n_in[ui]
+            total = n_in + 1  # + the injection buffer
+            start = cycle % total
+            # Occupied sources in the reference engine's rotated order:
+            # rank = (source position - start) mod total; slot lists are
+            # ascending, the injection buffer sits at position n_in.
+            items = [
+                ((slot_pos[s] - start) % total, s)
+                for s in per_node.get(ui, ())
+            ]
+            if self._inj[ui] != -1:
+                items.append(((n_in - start) % total, -1))
+            if len(items) > 1:
+                items.sort()
+            filled = 0
+            for _rank, s in items:
+                if s == -1:  # the injection buffer
+                    mi = self._inj[ui]
+                    for tq, tst in injection_row(ui, mdst[mi], mstate[mi]):
+                        if len(Q[tq]) < cap:
+                            mstate[mi] = tst
+                            Q[tq].append(mi)
+                            self._inj[ui] = -1
+                            self._inj_busy.discard(ui)
+                            filled += 1
+                            self._last_progress = cycle
+                            if recording:
+                                self._ev_enqueue.extend((cycle, mi, tq))
+                            break
+                else:
+                    mi = in_buf.item(s)
+                    tq, tst = entry_row(mtarget[mi], mdst[mi], mstate[mi])
+                    if len(Q[tq]) < cap:
+                        in_buf[s] = -1
+                        mtarget[mi] = -1
+                        mstate[mi] = tst
+                        Q[tq].append(mi)
+                        filled += 1
+                        self._last_progress = cycle
+                        if recording:
+                            self._ev_enqueue.extend((cycle, mi, tq))
+            if filled:
+                if not self._load[ui]:
+                    self._busy.add(ui)
+                self._load[ui] += filled
+
+    # -- link cycle --------------------------------------------------------
+    def _link_cycle(self, cycle: int) -> None:
+        out = self._out
+        inb = self._in
+        progressed = False
+        for k, cols in self._link_cols.items():
+            if k == 1:
+                col = cols[0]
+                mv = (out[col] != -1) & (inb[col] == -1)
+                if mv.any():
+                    mc = col[mv]
+                    inb[mc] = out[mc]
+                    out[mc] = -1
+                    progressed = True
+            else:
+                r = cycle % k
+                done = np.zeros(len(cols[0]), dtype=bool)
+                for p in range(k):
+                    col = cols[(r + p) % k]
+                    mv = (out[col] != -1) & (inb[col] == -1) & ~done
+                    if mv.any():
+                        mc = col[mv]
+                        inb[mc] = out[mc]
+                        out[mc] = -1
+                        done |= mv
+                        progressed = True
+        if progressed:
+            self._last_progress = cycle
+
+    # -- delivery and stats -------------------------------------------------
+    def _deliver(self, mi: int, cycle: int) -> None:
+        msg = self._mobj[mi]
+        msg.delivered_cycle = cycle
+        self.delivered_count += 1
+        self.active -= 1
+        self._last_progress = cycle
+        if self._recording:
+            self._ev_deliver.extend((cycle, mi))
+        if self._minj[mi] >= self.measure_from:
+            self.latency.record(cycle - self._minj[mi])
+
+    def _queue_lengths(self) -> np.ndarray:
+        return np.fromiter(
+            map(len, self._q), dtype=np.int64, count=self.tables.n_queues
+        )
+
+    def _sample_occupancy(self) -> None:
+        lens = self._queue_lengths()
+        if self._occ_sum is None:
+            self._occ_sum = np.zeros(self.tables.n_queues, dtype=np.int64)
+            self._occ_peak = np.zeros(self.tables.n_queues, dtype=np.int64)
+        self._occ_sum += lens
+        np.maximum(self._occ_peak, lens, out=self._occ_peak)
+        self.occupancy_samples += 1
+
+    def occupancy_mean(self) -> dict[tuple[Hashable, str], float]:
+        if not self.occupancy_samples:
+            return {}
+        t = self.tables
+        return {
+            (t.nodes[t.queue_node[q]], t.queue_kind[q]): (
+                int(self._occ_sum[q]) / self.occupancy_samples
+            )
+            for q in range(t.n_queues)
+        }
+
+    def _occupancy_peaks(self) -> dict[tuple[Hashable, str], int]:
+        # The reference engine only records queues seen occupied.
+        if self._occ_peak is None:
+            return {}
+        t = self.tables
+        return {
+            (t.nodes[t.queue_node[q]], t.queue_kind[q]): int(
+                self._occ_peak[q]
+            )
+            for q in np.flatnonzero(self._occ_peak).tolist()
+        }
+
+    # -- telemetry ---------------------------------------------------------
+    def _probe_sample(self, probe) -> None:
+        lens = self._queue_lengths()
+        hist = probe._occ_hist
+        if hist is not None:
+            for occ, count in enumerate(np.bincount(lens).tolist()):
+                if count:
+                    hist.observe_many(occ, count)
+        if probe.series_enabled:
+            self._series_buf.append((self.cycle, lens))
+        if probe._inflight is not None:
+            probe._inflight.set(self.active)
+
+    def _materialize_events(self) -> list[tuple]:
+        """Buffered columns -> canonical raw event tuples.
+
+        Concatenation order (inject, enqueue, hop, deliver) plus a
+        stable sort by ``(cycle, uid)`` reproduces
+        :meth:`EventLog.canonical` exactly: the only same-``(cycle,
+        uid)`` pair an engine can emit is inject-then-enqueue, and the
+        concat order preserves it.
+        """
+        t = self.tables
+        nodes = t.nodes
+        muid = self._muid
+        mdst = self._mdst
+        minj = self._minj
+        qkind = t.queue_kind
+        qnode = t.queue_node
+        evs: list[tuple] = []
+        buf = self._ev_inject
+        for i in range(0, len(buf), 3):
+            c, mi, ui = buf[i], buf[i + 1], buf[i + 2]
+            evs.append(("inject", c, muid[mi], nodes[ui], nodes[mdst[mi]]))
+        buf = self._ev_enqueue
+        for i in range(0, len(buf), 3):
+            c, mi, qid = buf[i], buf[i + 1], buf[i + 2]
+            evs.append(("enqueue", c, muid[mi], nodes[qnode[qid]], qkind[qid]))
+        buf = self._ev_hop
+        for i in range(0, len(buf), 5):
+            c, mi, s, dyn, tq = (
+                buf[i],
+                buf[i + 1],
+                buf[i + 2],
+                buf[i + 3],
+                buf[i + 4],
+            )
+            evs.append(
+                (
+                    "hop",
+                    c,
+                    muid[mi],
+                    nodes[t.slot_src[s]],
+                    nodes[t.slot_dst[s]],
+                    t.slot_cls[s],
+                    bool(dyn),
+                    qkind[tq],
+                )
+            )
+        buf = self._ev_deliver
+        for i in range(0, len(buf), 2):
+            c, mi = buf[i], buf[i + 1]
+            evs.append(
+                ("deliver", c, muid[mi], nodes[mdst[mi]], c - minj[mi])
+            )
+        evs.sort(key=lambda ev: (ev[1], ev[2]))
+        return evs
+
+    def _flush_telemetry(self, result: SimulationResult) -> None:
+        sink = self._events
+        if sink is not None:
+            evs = self._materialize_events()
+            extend = getattr(sink, "extend", None)
+            if extend is not None:
+                extend(evs)
+            else:
+                for ev in evs:
+                    sink.append(ev)
+        probe = self._probe
+        if probe is None:
+            return
+        if probe.enabled and probe.series_enabled and self._series_buf:
+            t = self.tables
+            labels = [
+                (t.nodes[t.queue_node[q]], t.queue_kind[q])
+                for q in range(t.n_queues)
+            ]
+            series = probe.occupancy_series
+            for c, lens in self._series_buf:
+                for (u, kind), occ in zip(labels, lens.tolist()):
+                    series.append((c, u, kind, occ))
+            self._series_buf = []
+        hook = getattr(probe, "on_run_end", None)
+        if hook is not None:
+            hook(self, result)
+
+    # ------------------------------------------------------------------
+    # Full runs
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int | None = None) -> SimulationResult:
+        """Run until the injection model reports completion.
+
+        Same contract as :meth:`PacketSimulator.run`, minus observer
+        halts (the vector engine attaches no fault observers).
+        """
+        self.injection.setup(self)
+        limit = max_cycles if max_cycles is not None else 10_000_000
+        while self.cycle < limit:
+            self.step()
+            if self.injection.finished(self, self.cycle - 1):
+                break
+        else:
+            raise CycleLimitExceeded(
+                f"simulation exceeded {limit} cycles with no end in "
+                f"sight: {self.active} of {self.injected_count} "
+                f"injected packets still in flight "
+                f"({self.algorithm.name}; raise max_cycles or check "
+                "for livelock)"
+            )
+        occupancy = {}
+        if self.collect_occupancy:
+            occupancy = {
+                "mean": self.occupancy_mean(),
+                "peak": self._occupancy_peaks(),
+            }
+        result = SimulationResult(
+            algorithm=self.algorithm.name,
+            topology=self.topology.name,
+            pattern=getattr(self.injection, "pattern", None).name
+            if getattr(self.injection, "pattern", None)
+            else "?",
+            injection=self.injection.name,
+            cycles=self.cycle,
+            injected=self.injected_count,
+            delivered=self.delivered_count,
+            latency=self.latency,
+            attempts=getattr(self.injection, "attempts", 0),
+            successes=getattr(self.injection, "successes", 0),
+            undelivered=self.active,
+            occupancy=occupancy,
+        )
+        self._flush_telemetry(result)
+        return result

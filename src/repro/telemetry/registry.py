@@ -126,6 +126,27 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    def observe_many(self, value: int | float, count: int) -> None:
+        """Record ``count`` identical observations in one update.
+
+        Exactly equivalent to calling :meth:`observe` ``count`` times;
+        used by the vector engine's bulk occupancy sampling.
+        """
+        if count <= 0:
+            return
+        i = 0
+        for bound in self.buckets:
+            if value <= bound:
+                break
+            i += 1
+        self.counts[i] += count
+        self.sum += value * count
+        self.count += count
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else float("nan")
@@ -173,6 +194,9 @@ class _NullMetric:
         pass
 
     def observe(self, value: int | float) -> None:
+        pass
+
+    def observe_many(self, value: int | float, count: int) -> None:
         pass
 
     def snapshot(self) -> dict:
