@@ -274,6 +274,102 @@ def cmd_telemetry(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """``repro lint``: the static deadlock-freedom + determinism gate.
+
+    With ``--all`` (or no targets) sweeps every registered
+    topology/algorithm pair — packet schemes, worm-hole schemes, and
+    fault-epoch adapters — through the static analyzer, then runs the
+    AST determinism lint over ``src/repro/``.  Exit code 0 iff every
+    instance matches its registered expectation and the determinism
+    lint is clean.  ``--graph FILE`` instead decides the
+    Mendlovic–Matias existence condition for a user-supplied digraph
+    (one ``u v`` edge per line) and verifies a synthesized scheme.
+    """
+    import json
+
+    from .statics import (
+        deadlock_free_routing_exists,
+        lint_targets,
+        run_determinism_lint,
+        synthesize_routing,
+        to_json_report,
+        to_sarif,
+    )
+    from .statics.registry import gate_ok, target_by_key
+
+    if args.graph:
+        edges = []
+        with open(args.graph) as fh:
+            for line in fh:
+                parts = line.split()
+                if len(parts) >= 2:
+                    edges.append((parts[0], parts[1]))
+        rep = deadlock_free_routing_exists(
+            edges, classes=args.classes, name=args.graph
+        )
+        print(rep.summary())
+        if args.json:
+            print(json.dumps(rep.to_dict(), indent=2))
+        if rep.exists and args.synthesize:
+            alg = synthesize_routing(edges, name=args.graph)
+            vr = verify_algorithm(
+                alg, check_minimal=False, check_fully_adaptive=False
+            )
+            print(f"synthesized scheme: {vr.summary()}")
+            return 0 if vr.deadlock_free else 1
+        return 0 if rep.exists else 1
+
+    if args.all or not args.targets:
+        targets = lint_targets()
+    else:
+        try:
+            targets = [target_by_key(k) for k in args.targets]
+        except KeyError as exc:
+            known = ", ".join(t.key for t in lint_targets())
+            raise SystemExit(
+                f"unknown lint target {exc.args[0]!r}; known: {known}"
+            )
+
+    analyses = []
+    expectations: dict[str, str] = {}
+    ok = True
+    for t in targets:
+        a = t.analyze()
+        analyses.append(a)
+        expectations[a.name] = t.expect
+        t_ok = gate_ok(a, t.expect)
+        ok = ok and t_ok
+        mark = "ok " if t_ok else "GATE"
+        print(f"[{mark}] ({t.expect:8}) {t.key}: {a.report.summary()}")
+        for w in a.witnesses:
+            print(f"         witness: {w.describe()}")
+
+    findings = [] if args.no_determinism else run_determinism_lint()
+    for f in findings:
+        print(f"[GATE] determinism: {f}")
+    ok = ok and not findings
+
+    if args.json:
+        print(
+            json.dumps(
+                to_json_report(analyses, findings, expectations), indent=2
+            )
+        )
+    if args.sarif:
+        with open(args.sarif, "w") as fh:
+            json.dump(to_sarif(analyses, findings, expectations), fh, indent=2)
+        print(f"SARIF report written to {args.sarif}")
+
+    n_cert = sum(1 for a in analyses if a.certified)
+    print(
+        f"{n_cert}/{len(analyses)} instances certified deadlock-free; "
+        f"{len(findings)} determinism finding(s); gate "
+        + ("PASS" if ok else "FAIL")
+    )
+    return 0 if ok else 1
+
+
 def cmd_report(args) -> int:
     """``repro report``: emit the full Markdown reproduction report."""
     from .analysis.report import full_report
@@ -398,6 +494,47 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--no-figures", action="store_true")
     r.add_argument("--output", "-o", help="write to a file instead of stdout")
     r.set_defaults(fn=cmd_report)
+
+    ln = sub.add_parser(
+        "lint",
+        help="statically certify deadlock-freedom + determinism lint",
+    )
+    ln.add_argument(
+        "targets",
+        nargs="*",
+        help="registry keys to analyze (default: all)",
+    )
+    ln.add_argument(
+        "--all", action="store_true", help="sweep every registered target"
+    )
+    ln.add_argument(
+        "--json", action="store_true", help="print the JSON report"
+    )
+    ln.add_argument(
+        "--sarif", metavar="FILE", help="write a SARIF 2.1.0 report to FILE"
+    )
+    ln.add_argument(
+        "--no-determinism",
+        action="store_true",
+        help="skip the AST determinism lint",
+    )
+    ln.add_argument(
+        "--graph",
+        metavar="FILE",
+        help="decide deadlock-free-routing existence for an edge-list file",
+    )
+    ln.add_argument(
+        "--classes",
+        type=int,
+        default=2,
+        help="central-queue classes available for --graph (default 2)",
+    )
+    ln.add_argument(
+        "--synthesize",
+        action="store_true",
+        help="with --graph: synthesize and verify a concrete scheme",
+    )
+    ln.set_defaults(fn=cmd_lint)
     return p
 
 

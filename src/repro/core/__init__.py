@@ -17,6 +17,7 @@ from .qdg import (
     is_acyclic,
     qdg_stats,
     queue_levels,
+    shortest_cycle,
 )
 from .queues import (
     DELIVER,
@@ -49,6 +50,7 @@ __all__ = [
     "build_qdg",
     "is_acyclic",
     "find_cycle",
+    "shortest_cycle",
     "queue_levels",
     "qdg_stats",
     "minimal_node_paths",

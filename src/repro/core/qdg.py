@@ -169,6 +169,64 @@ def find_cycle(qdg: nx.DiGraph) -> list[tuple[QueueId, QueueId]] | None:
         return None
 
 
+def shortest_cycle(g: nx.DiGraph) -> list[tuple[Any, Any]] | None:
+    """A minimum-length directed cycle of ``g``, or ``None`` if acyclic.
+
+    Deterministic regardless of node hashing: nodes are scanned (and
+    BFS frontiers expanded) in ``repr``-sorted order, so the same graph
+    always yields the same cycle — the property the static analyzer's
+    *minimal cycle witnesses* rely on (``repro.statics``).  Handles the
+    adversarial shapes exactly: a self-loop is a length-1 cycle (and
+    always minimal), parallel edges collapse in a ``DiGraph`` (an
+    anti-parallel pair ``u -> v -> u`` is a length-2 cycle), single-node
+    and disconnected graphs are searched component-free — a cycle is
+    found wherever it lives.
+
+    Returns the cycle as an edge list ``[(v0, v1), ..., (vk, v0)]``
+    (``[(v, v)]`` for a self-loop), matching :func:`find_cycle`.
+    """
+    order = sorted(g.nodes, key=repr)
+    for v in order:
+        if g.has_edge(v, v):
+            return [(v, v)]
+    succ = {v: sorted(g.successors(v), key=repr) for v in order}
+    best: list | None = None
+    for start in order:
+        # BFS for the shortest path back to ``start``.
+        parent: dict = {}
+        frontier = [start]
+        depth = 0
+        found = None
+        while frontier and found is None:
+            depth += 1
+            if best is not None and depth >= len(best):
+                break  # cannot improve on the incumbent
+            nxt = []
+            for u in frontier:
+                for w in succ[u]:
+                    if w == start:
+                        found = u
+                        break
+                    if w not in parent:
+                        parent[w] = u
+                        nxt.append(w)
+                if found is not None:
+                    break
+            frontier = nxt
+        if found is None:
+            continue
+        path = [found]
+        while path[-1] != start:
+            path.append(parent.get(path[-1], start))
+        path.reverse()  # start, ..., found
+        cycle = [
+            (path[i], path[i + 1]) for i in range(len(path) - 1)
+        ] + [(found, start)]
+        if best is None or len(cycle) < len(best):
+            best = cycle
+    return best
+
+
 def queue_levels(static_qdg: nx.DiGraph) -> dict[QueueId, int]:
     """The paper's ``Level``: longest static path from any injection queue.
 

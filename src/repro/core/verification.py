@@ -47,6 +47,12 @@ class VerificationReport:
     minimal: bool | None = None
     fully_adaptive: bool | None = None
     errors: list[str] = field(default_factory=list)
+    #: True number of failures observed, including ones dropped from
+    #: ``errors`` once the per-report cap was hit.
+    error_total: int = 0
+    #: Minimal cycle witnesses (``repro.statics.witness.CycleWitness``)
+    #: attached when the static QDG is cyclic.
+    witnesses: list[Any] = field(default_factory=list)
 
     @property
     def deadlock_free(self) -> bool:
@@ -69,6 +75,7 @@ class VerificationReport:
 
     def fail(self, attr: str, msg: str, cap: int = 20) -> None:
         setattr(self, attr, False)
+        self.error_total += 1
         if len(self.errors) < cap:
             self.errors.append(msg)
 
@@ -88,7 +95,15 @@ class VerificationReport:
         body = ", ".join(
             f"{k}={'ok' if v else 'FAIL'}" for k, v in flags.items()
         )
-        return f"{self.algorithm}: {body}"
+        out = f"{self.algorithm}: {body}"
+        if self.error_total > len(self.errors):
+            # The cap in :meth:`fail` dropped counterexamples; say so
+            # instead of letting the report look exhaustive.
+            out += (
+                f" [truncated: showing {len(self.errors)} of "
+                f"{self.error_total} counterexamples]"
+            )
+        return out
 
 
 def _check_adjacency(
@@ -115,11 +130,24 @@ def _check_static_structure(
 ) -> dict[QueueId, int] | None:
     static = build_qdg(algorithm, include_dynamic=False, exploration=exp)
     if not nx.is_directed_acyclic_graph(static):
-        cyc = nx.find_cycle(static)
-        report.fail(
-            "static_acyclic",
-            "static QDG has a cycle: " + " -> ".join(str(e[0]) for e in cyc),
-        )
+        # The witness builder is the single source of cycle evidence:
+        # verify_algorithm, the static analyzer, and verify_under_faults
+        # all surface the same minimal ``(queue, dst, state)`` rows.
+        from ..statics.witness import cycle_witness
+
+        wit = cycle_witness(algorithm, exp)
+        if wit is not None:
+            report.witnesses.append(wit)
+            report.fail(
+                "static_acyclic", "static QDG has a cycle: " + wit.describe()
+            )
+        else:  # pragma: no cover - cyclic QDG always yields a witness
+            cyc = nx.find_cycle(static)
+            report.fail(
+                "static_acyclic",
+                "static QDG has a cycle: "
+                + " -> ".join(str(e[0]) for e in cyc),
+            )
         return None
     return queue_levels(static)
 
@@ -221,6 +249,7 @@ def verify_algorithm(
     check_fully_adaptive: bool | None = None,
     pair_limit: int | None = None,
     strict_levels: bool | None = None,
+    exploration: Exploration | None = None,
 ) -> VerificationReport:
     """Exhaustively verify one algorithm instance.
 
@@ -234,9 +263,13 @@ def verify_algorithm(
     queue, so it is only meaningful over the full source set; when
     ``sources`` is restricted the check defaults to off (a partial
     exploration systematically underestimates levels).
+
+    ``exploration`` lets callers that already hold the reachable-
+    configuration enumeration (the static analyzer) share it instead of
+    re-exploring; it must match ``sources``/``destinations``.
     """
     report = VerificationReport(algorithm=algorithm.name)
-    exp = explore(algorithm, sources, destinations)
+    exp = exploration or explore(algorithm, sources, destinations)
     if strict_levels is None:
         strict_levels = sources is None
 

@@ -344,10 +344,21 @@ class FaultVerification:
         """The Section-2 guarantees no longer all hold."""
         return not self.report.deadlock_free or bool(self.unreachable_pairs)
 
+    @property
+    def witnesses(self) -> list:
+        """Minimal cycle witnesses, when the degraded static QDG is
+        cyclic.  These come straight from the static analyzer's witness
+        builder (``repro.statics.witness``) via ``verify_algorithm`` —
+        the faults layer no longer derives its own cycle evidence.
+        """
+        return self.report.witnesses
+
     def summary(self) -> str:
         base = self.report.summary()
         if self.unreachable_pairs:
             base += f"; {len(self.unreachable_pairs)} unreachable (src,dst) pair(s)"
+        if self.witnesses:
+            base += "; " + "; ".join(w.describe() for w in self.witnesses)
         return f"[{self.faults.describe()}] {base}"
 
 

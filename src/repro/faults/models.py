@@ -284,6 +284,16 @@ class FaultSchedule:
         return self._starts[i] if i < len(self._starts) else None
 
     @property
+    def epochs(self) -> tuple[FaultSet, ...]:
+        """All distinct epochs in timeline order (first may be healthy).
+
+        The static analyzer (``repro.statics``) sweeps these: each
+        epoch is a topology variant whose degraded instance must still
+        certify (or honestly fail) the Section-2 conditions.
+        """
+        return tuple(self._epochs)
+
+    @property
     def final(self) -> FaultSet:
         """The last epoch (all permanent faults active, stalls over)."""
         return self._epochs[-1]

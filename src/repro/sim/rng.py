@@ -19,6 +19,7 @@ def make_rng(seed: int | None, stream: str = "") -> np.random.Generator:
     same experiment seed (CRC-mixed seed sequence).
     """
     if seed is None:
-        return np.random.default_rng()
+        # Explicit opt-out: seed=None requests OS entropy.
+        return np.random.default_rng()  # lint: ok
     mix = zlib.crc32(stream.encode("utf-8"))
     return np.random.default_rng(np.random.SeedSequence([int(seed), mix]))

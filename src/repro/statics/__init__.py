@@ -1,0 +1,36 @@
+"""Static deadlock-freedom analysis (no simulation cycles).
+
+Lowers any :class:`~repro.core.routing_function.RoutingAlgorithm` (or
+worm-hole scheme, or fault-epoch adapter) onto its complete queue /
+channel dependency graph, checks the paper's Section-2 conditions plus
+the Mendlovic–Matias existence condition for arbitrary digraphs, and on
+failure emits minimal, machine-readable cycle witnesses.  The ``repro
+lint`` CLI sweeps every registered instance as a CI gate.
+"""
+
+from .analyzer import StaticAnalysis, analyze_algorithm, analyze_wormhole
+from .existence import ExistenceReport, deadlock_free_routing_exists
+from .lint import LintFinding, run_determinism_lint
+from .registry import LintTarget, lint_targets
+from .report import to_json_report, to_sarif
+from .synthesis import SynthesizedRouting, synthesize_routing
+from .witness import CycleWitness, WitnessRow, cycle_witness
+
+__all__ = [
+    "CycleWitness",
+    "ExistenceReport",
+    "LintFinding",
+    "LintTarget",
+    "StaticAnalysis",
+    "SynthesizedRouting",
+    "WitnessRow",
+    "analyze_algorithm",
+    "analyze_wormhole",
+    "cycle_witness",
+    "deadlock_free_routing_exists",
+    "lint_targets",
+    "run_determinism_lint",
+    "synthesize_routing",
+    "to_json_report",
+    "to_sarif",
+]

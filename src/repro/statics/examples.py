@@ -1,0 +1,71 @@
+"""Deliberately broken algorithms the analyzer must catch.
+
+The canonical negative example is *unrestricted minimal adaptive
+routing*: one central queue per node, every minimal next hop allowed,
+no dynamic links, no dateline/class discipline.  On any topology with
+a cycle of minimal routes (a torus ring is the textbook case) its
+static QDG is cyclic and — whenever two adjacent nodes are each
+other's unique minimal next hop for some pair — the forced-wait graph
+is cyclic too, so the analyzer emits a replayable witness
+(:mod:`repro.statics.replay` turns it into a real ``DeadlockError``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from ..core.queues import QueueId, deliver
+from ..core.routing_function import RoutingAlgorithm
+from ..topology.base import Topology
+
+#: The single central queue kind of the broken scheme.
+KIND = "Q"
+
+
+class UnrestrictedMinimalRouting(RoutingAlgorithm):
+    """Minimal adaptive routing with no deadlock-avoidance structure.
+
+    This is what the paper's schemes would be *without* their queue
+    classes and dynamic links: fully adaptive over minimal paths, one
+    bounded queue per node, and therefore deadlock-prone on any
+    topology whose minimal-route graph has cycles.
+    """
+
+    is_minimal = True
+    is_fully_adaptive = True
+
+    def __init__(self, topology: Topology):
+        super().__init__(topology)
+        self.name = f"unrestricted-minimal({topology.name})"
+
+    def central_queue_kinds(self, node: Hashable) -> tuple[str, ...]:
+        return (KIND,)
+
+    def _minimal_next(self, u: Hashable, dst: Hashable) -> frozenset[QueueId]:
+        topo = self.topology
+        d = topo.distance(u, dst)
+        return frozenset(
+            QueueId(v, KIND)
+            for v in topo.neighbors(u)
+            if topo.distance(v, dst) == d - 1
+        )
+
+    def injection_targets(
+        self, src: Hashable, dst: Hashable, state: Any = None
+    ) -> frozenset[QueueId]:
+        return frozenset({QueueId(src, KIND)})
+
+    def static_hops(
+        self, q: QueueId, dst: Hashable, state: Any = None
+    ) -> frozenset[QueueId]:
+        if q.node == dst:
+            return frozenset({deliver(dst)})
+        return self._minimal_next(q.node, dst)
+
+
+def broken_torus(side: int = 5):
+    """The acceptance-criteria instance: unrestricted minimal adaptive
+    routing on a ``side x side`` torus, no dynamic links."""
+    from ..topology.torus import Torus
+
+    return UnrestrictedMinimalRouting(Torus((side, side)))

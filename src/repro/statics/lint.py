@@ -1,0 +1,338 @@
+"""AST-based determinism lint over ``src/repro/``.
+
+Three rule families, each targeting a reproducibility hazard this repo
+has an explicit discipline for:
+
+``unseeded-rng``
+    Every random draw must flow from the seed-derivation scheme
+    (``make_rng``).  Flags ``default_rng()`` with no seed, the global
+    ``numpy.random.*`` functions, legacy ``RandomState``, and the
+    stdlib ``random`` module's draw functions.
+
+``set-iteration-order``
+    ``QueueId`` contains strings, and string hashes are randomized per
+    process — iterating a set in an *order-observable* way inside a
+    routing hot path (the hop relations engines memoize) silently
+    changes results across runs.  Flags ``list(...)``/``tuple(...)``
+    over a set expression, ``next(iter(...))`` of a set expression,
+    and ``for`` loops over set expressions whose body can exit early
+    (``break``/``return``), inside the hot routing functions.
+
+``observer-api``
+    The engines dispatch observers by duck-typed hooks ``on_cycle(sim,
+    cycle)``, ``on_stall(sim)`` and ``on_run_end(sim, result)``.
+    Flags hook definitions whose arity has drifted, and unknown
+    ``on_*`` methods on observer-looking classes (the engine would
+    silently never call them).
+
+A finding can be waived by putting ``lint: ok`` in a comment on the
+offending line.  :func:`run_determinism_lint` returns findings sorted
+by location, so output is deterministic too.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+#: Routing/scheme methods whose iteration order engines observe.
+HOT_FUNCTIONS = frozenset(
+    {
+        "static_hops",
+        "dynamic_hops",
+        "hops",
+        "injection_targets",
+        "update_state",
+        "buffer_classes",
+        "central_queue_kinds",
+        "candidates",
+        "escape_channels",
+        "adaptive_channels",
+    }
+)
+
+#: Known engine observer hooks and their positional arity (incl. self).
+OBSERVER_HOOKS = {"on_cycle": 3, "on_stall": 2, "on_run_end": 3}
+
+#: Class-name fragments that mark a class as an engine observer.
+OBSERVER_CLASS_HINTS = ("Observer", "Watchdog", "Probe", "Injector")
+
+#: numpy.random attributes that are part of the seeded discipline.
+_NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence"})
+
+#: stdlib ``random`` draw functions (seeding helpers excluded).
+_STDLIB_DRAWS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+    }
+)
+
+WAIVER = "lint: ok"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One determinism-lint hit."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _positional_arity(fn: ast.FunctionDef) -> int:
+    return len(fn.args.posonlyargs) + len(fn.args.args)
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, rel_path: str, lines: list[str]):
+        self.rel_path = rel_path
+        self.lines = lines
+        self.findings: list[LintFinding] = []
+        self._hot_depth = 0
+        self._imported_random = False
+
+    # -- plumbing ------------------------------------------------------
+    def _waived(self, node: ast.AST) -> bool:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            return WAIVER in self.lines[line - 1]
+        return False
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        if self._waived(node):
+            return
+        self.findings.append(
+            LintFinding(
+                path=self.rel_path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                rule=rule,
+                message=message,
+            )
+        )
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" and (alias.asname or "random") == "random":
+                self._imported_random = True
+        self.generic_visit(node)
+
+    # -- unseeded RNG --------------------------------------------------
+    def _check_rng_call(self, node: ast.Call) -> None:
+        fn = node.func
+        if not isinstance(fn, ast.Attribute):
+            return
+        if fn.attr == "default_rng" and not node.args and not node.keywords:
+            self._flag(
+                node,
+                "unseeded-rng",
+                "default_rng() with no seed: draws are irreproducible; "
+                "derive the generator via make_rng",
+            )
+            return
+        base = fn.value
+        if (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in ("np", "numpy")
+        ):
+            if fn.attr == "RandomState":
+                self._flag(
+                    node,
+                    "unseeded-rng",
+                    "legacy numpy RandomState: use make_rng "
+                    "(PCG64 via default_rng)",
+                )
+            elif fn.attr not in _NP_RANDOM_OK:
+                self._flag(
+                    node,
+                    "unseeded-rng",
+                    f"numpy.random.{fn.attr} uses the hidden global "
+                    "RNG; derive a generator via make_rng",
+                )
+        elif (
+            self._imported_random
+            and isinstance(base, ast.Name)
+            and base.id == "random"
+        ):
+            if fn.attr in _STDLIB_DRAWS:
+                self._flag(
+                    node,
+                    "unseeded-rng",
+                    f"stdlib random.{fn.attr} draws from the global "
+                    "RNG; derive a generator via make_rng",
+                )
+            elif fn.attr == "Random" and not node.args and not node.keywords:
+                self._flag(
+                    node,
+                    "unseeded-rng",
+                    "random.Random() with no seed is irreproducible",
+                )
+
+    # -- set iteration order in hot paths ------------------------------
+    def _check_set_order(self, node: ast.Call) -> None:
+        if self._hot_depth == 0:
+            return
+        fn = node.func
+        if isinstance(fn, ast.Name) and fn.id in ("list", "tuple", "sorted"):
+            if fn.id == "sorted":
+                return  # sorted() is the sanctioned fix
+            if node.args and _is_set_expr(node.args[0]):
+                self._flag(
+                    node,
+                    "set-iteration-order",
+                    f"{fn.id}(...) over a set expression in a routing "
+                    "hot path leaks hash order; sort first",
+                )
+        if (
+            isinstance(fn, ast.Name)
+            and fn.id == "next"
+            and node.args
+            and isinstance(node.args[0], ast.Call)
+            and isinstance(node.args[0].func, ast.Name)
+            and node.args[0].func.id == "iter"
+            and node.args[0].args
+            and _is_set_expr(node.args[0].args[0])
+        ):
+            self._flag(
+                node,
+                "set-iteration-order",
+                "next(iter(<set>)) picks a hash-order-dependent "
+                "element in a routing hot path; use min/sorted",
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_rng_call(node)
+        self._check_set_order(node)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._hot_depth > 0 and _is_set_expr(node.iter):
+            exits_early = any(
+                isinstance(n, (ast.Break, ast.Return))
+                for stmt in node.body
+                for n in ast.walk(stmt)
+            )
+            if exits_early:
+                self._flag(
+                    node,
+                    "set-iteration-order",
+                    "for-loop over a set expression with an early exit "
+                    "in a routing hot path; iterate in sorted order",
+                )
+        self.generic_visit(node)
+
+    # -- functions / observer classes ----------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        hot = node.name in HOT_FUNCTIONS
+        if hot:
+            self._hot_depth += 1
+        self.generic_visit(node)
+        if hot:
+            self._hot_depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        observerish = any(h in node.name for h in OBSERVER_CLASS_HINTS)
+        for item in node.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            expected = OBSERVER_HOOKS.get(item.name)
+            if expected is not None:
+                if (
+                    _positional_arity(item) != expected
+                    and item.args.vararg is None
+                ):
+                    self._flag(
+                        item,
+                        "observer-api",
+                        f"{node.name}.{item.name} takes "
+                        f"{_positional_arity(item)} positional args; the "
+                        f"engine calls it with {expected} "
+                        "(observer API drift)",
+                    )
+            elif observerish and item.name.startswith("on_"):
+                self._flag(
+                    item,
+                    "observer-api",
+                    f"{node.name}.{item.name} is not an engine hook "
+                    f"({', '.join(sorted(OBSERVER_HOOKS))}); the engine "
+                    "will never call it",
+                )
+        self.generic_visit(node)
+
+
+def _iter_sources(root: Path) -> Iterator[Path]:
+    yield from sorted(root.rglob("*.py"))
+
+
+def run_determinism_lint(root: Path | None = None) -> list[LintFinding]:
+    """Lint every Python source under ``root`` (default: this package's
+    parent, i.e. ``src/repro/``).  Returns findings sorted by location.
+    """
+    if root is None:
+        root = Path(__file__).resolve().parents[1]
+    root = Path(root)
+    findings: list[LintFinding] = []
+    base = root.parent
+    for path in _iter_sources(root):
+        text = path.read_text()
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:  # pragma: no cover - repo must parse
+            findings.append(
+                LintFinding(
+                    path=str(path.relative_to(base)),
+                    line=exc.lineno or 0,
+                    col=exc.offset or 0,
+                    rule="syntax",
+                    message=str(exc),
+                )
+            )
+            continue
+        visitor = _Visitor(
+            str(path.relative_to(base)), text.splitlines()
+        )
+        visitor.visit(tree)
+        findings.extend(visitor.findings)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))

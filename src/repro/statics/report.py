@@ -1,0 +1,157 @@
+"""Machine-readable reports for the static analyzer.
+
+Two formats:
+
+* :func:`to_json_report` — the native schema
+  (``repro-static-analysis/1``): one record per analyzed instance with
+  flags, stats, and full witness rows.
+* :func:`to_sarif` — a SARIF 2.1.0 document (the static-analysis
+  interchange format CI systems ingest): one ``result`` per refuted
+  instance and per determinism-lint finding, witnesses rendered into
+  the message and kept verbatim under ``properties``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from .analyzer import StaticAnalysis
+from .lint import LintFinding
+
+SCHEMA = "repro-static-analysis/1"
+SARIF_VERSION = "2.1.0"
+TOOL_NAME = "repro-lint"
+
+
+def to_json_report(
+    analyses: Iterable[StaticAnalysis],
+    findings: Iterable[LintFinding] = (),
+    expectations: dict[str, str] | None = None,
+) -> dict[str, Any]:
+    """The native JSON report.
+
+    ``expectations`` maps registry keys to ``"pass"``/``"fail"`` so the
+    report distinguishes a broken gate from a registered negative
+    example that failed exactly as intended.
+    """
+    from .registry import gate_ok as _gate_ok
+
+    expectations = expectations or {}
+    records = []
+    all_ok = True
+    for a in analyses:
+        rec = a.to_dict()
+        expect = expectations.get(rec["name"], "pass")
+        ok = _gate_ok(a, expect)
+        rec["expect"] = expect
+        rec["gate_ok"] = ok
+        all_ok = all_ok and ok
+        records.append(rec)
+    lint = [f.to_dict() for f in findings]
+    all_ok = all_ok and not lint
+    return {
+        "schema": SCHEMA,
+        "gate_ok": all_ok,
+        "instances": records,
+        "determinism_findings": lint,
+    }
+
+
+def _sarif_rule(rule_id: str, description: str) -> dict[str, Any]:
+    return {
+        "id": rule_id,
+        "shortDescription": {"text": description},
+    }
+
+
+def to_sarif(
+    analyses: Iterable[StaticAnalysis],
+    findings: Iterable[LintFinding] = (),
+    expectations: dict[str, str] | None = None,
+) -> dict[str, Any]:
+    """A SARIF 2.1.0 document over the same evidence.
+
+    Registered negative examples that fail as expected are reported at
+    ``"note"`` level (the gate is green); unexpected refutations are
+    ``"error"``.
+    """
+    expectations = expectations or {}
+    results: list[dict[str, Any]] = []
+    for a in analyses:
+        if a.certified:
+            continue
+        expect = expectations.get(a.name, "pass")
+        level = "error" if expect == "pass" else "note"
+        message = f"{a.name} is not statically deadlock-free"
+        if a.witnesses:
+            message += ": " + "; ".join(w.describe() for w in a.witnesses)
+        results.append(
+            {
+                "ruleId": "deadlock-freedom",
+                "level": level,
+                "message": {"text": message},
+                "properties": {
+                    "model": a.model,
+                    "topology": a.topology,
+                    "expect": expect,
+                    "witnesses": [w.to_dict() for w in a.witnesses],
+                },
+            }
+        )
+    for f in findings:
+        results.append(
+            {
+                "ruleId": f.rule,
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": f.path},
+                            "region": {
+                                "startLine": f.line,
+                                "startColumn": f.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "rules": [
+                            _sarif_rule(
+                                "deadlock-freedom",
+                                "Section-2 static deadlock-freedom "
+                                "certification",
+                            ),
+                            _sarif_rule(
+                                "unseeded-rng",
+                                "RNG use outside the seeded make_rng "
+                                "discipline",
+                            ),
+                            _sarif_rule(
+                                "set-iteration-order",
+                                "order-observable iteration over a set "
+                                "in a routing hot path",
+                            ),
+                            _sarif_rule(
+                                "observer-api",
+                                "engine observer signature drift",
+                            ),
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

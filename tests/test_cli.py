@@ -119,3 +119,69 @@ def test_cli_telemetry_single_engine_with_faults(tmp_path, capsys):
     assert "byte-identical" not in text
     assert (out / "compiled-summary.json").exists()
     assert not (out / "reference-summary.json").exists()
+
+
+def test_cli_lint_single_target(capsys):
+    assert main(["lint", "torus", "--no-determinism"]) == 0
+    out = capsys.readouterr().out
+    assert "[ok ]" in out and "gate PASS" in out
+
+
+def test_cli_lint_expected_failure_keeps_gate_green(capsys):
+    assert main(["lint", "unrestricted-torus", "--no-determinism"]) == 0
+    out = capsys.readouterr().out
+    assert "forced-wait" in out and "gate PASS" in out
+
+
+def test_cli_lint_all(capsys):
+    assert main(["lint", "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "unrestricted-torus" in out
+    assert "wh-hypercube-hung-escape" in out
+    assert "faults-hypercube-epoch0" in out
+    assert "gate PASS" in out
+
+
+def test_cli_lint_json(capsys):
+    import json
+
+    assert main(["lint", "torus", "--json", "--no-determinism"]) == 0
+    out = capsys.readouterr().out
+    doc = json.loads(out[out.index("{"): out.rindex("}") + 1])
+    assert doc["schema"] == "repro-static-analysis/1"
+    assert doc["gate_ok"] is True
+
+
+def test_cli_lint_sarif(tmp_path, capsys):
+    import json
+
+    sarif = tmp_path / "out.sarif"
+    assert main(
+        ["lint", "unrestricted-torus", "--sarif", str(sarif),
+         "--no-determinism"]
+    ) == 0
+    doc = json.loads(sarif.read_text())
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["results"]
+
+
+def test_cli_lint_unknown_target():
+    with pytest.raises(SystemExit):
+        main(["lint", "no-such-target"])
+
+
+def test_cli_lint_graph_existence(tmp_path, capsys):
+    edges = tmp_path / "ring.edges"
+    edges.write_text("a b\nb c\nc a\n")
+    assert main(["lint", "--graph", str(edges)]) == 0
+    out = capsys.readouterr().out
+    assert "minimum: 2" in out
+    assert main(["lint", "--graph", str(edges), "--classes", "1"]) == 1
+
+
+def test_cli_lint_graph_synthesize(tmp_path, capsys):
+    edges = tmp_path / "ring.edges"
+    edges.write_text("a b\nb c\nc a\n")
+    assert main(["lint", "--graph", str(edges), "--synthesize"]) == 0
+    out = capsys.readouterr().out
+    assert "synthesized scheme" in out and "static-DAG=ok" in out

@@ -11,6 +11,7 @@ from repro.core import (
     is_acyclic,
     qdg_stats,
     queue_levels,
+    shortest_cycle,
 )
 from repro.routing import (
     HypercubeAdaptiveRouting,
@@ -112,3 +113,70 @@ def test_phase_b_edges_descend_levels(cube3):
     for u, v in qdg.edges():
         if u.kind == "B" and v.kind == "B" and u.node != v.node:
             assert bin(u.node).count("1") == bin(v.node).count("1") + 1
+
+
+# ---------------------------------------------------------------------------
+# shortest_cycle on adversarial graphs
+# ---------------------------------------------------------------------------
+
+
+def _closes(cycle):
+    """Edge list forms a closed walk and every edge exists."""
+    assert cycle, "expected a cycle"
+    for (u, v), (nu, _) in zip(cycle, cycle[1:] + cycle[:1]):
+        assert v == nu
+    return len(cycle)
+
+
+def test_shortest_cycle_none_on_dag():
+    g = nx.DiGraph([(0, 1), (1, 2), (0, 2)])
+    assert shortest_cycle(g) is None
+
+
+def test_shortest_cycle_single_node_no_edges():
+    g = nx.DiGraph()
+    g.add_node(0)
+    assert shortest_cycle(g) is None
+
+
+def test_shortest_cycle_self_loop_wins():
+    """A self-loop is a 1-cycle and beats any longer cycle."""
+    g = nx.DiGraph([(0, 1), (1, 2), (2, 0), (3, 3)])
+    cycle = shortest_cycle(g)
+    assert cycle == [(3, 3)]
+
+
+def test_shortest_cycle_parallel_antiparallel_edges():
+    """Anti-parallel edges form a 2-cycle; DiGraph collapses true
+    parallel edges so they never shorten anything."""
+    g = nx.DiGraph([(0, 1), (1, 0), (1, 2), (2, 3), (3, 1)])
+    g.add_edge(0, 1)  # parallel re-add is a no-op on DiGraph
+    cycle = shortest_cycle(g)
+    assert _closes(cycle) == 2
+    assert set(cycle) == {(0, 1), (1, 0)}
+
+
+def test_shortest_cycle_disconnected_components():
+    """The shortest cycle is found even when a larger cycle lives in a
+    different (and earlier-sorted) component."""
+    g = nx.DiGraph()
+    g.add_edges_from([(0, 1), (1, 2), (2, 3), (3, 0)])  # 4-cycle
+    g.add_edges_from([(10, 11), (11, 10)])  # 2-cycle, other component
+    g.add_node(99)  # isolated node
+    cycle = shortest_cycle(g)
+    assert _closes(cycle) == 2
+    assert set(cycle) == {(10, 11), (11, 10)}
+
+
+def test_shortest_cycle_prefers_shorter_over_first_found():
+    g = nx.DiGraph()
+    # long cycle reachable from low-sorted nodes, short one elsewhere
+    g.add_edges_from([(0, 1), (1, 2), (2, 4), (4, 5), (5, 0)])  # 5-cycle
+    g.add_edges_from([(6, 7), (7, 8), (8, 6)])  # 3-cycle
+    assert _closes(shortest_cycle(g)) == 3
+
+
+def test_shortest_cycle_deterministic():
+    edges = [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]
+    runs = {tuple(shortest_cycle(nx.DiGraph(edges))) for _ in range(5)}
+    assert len(runs) == 1

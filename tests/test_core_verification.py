@@ -205,3 +205,41 @@ def test_verify_with_pair_limit_runs_fast():
     alg = HypercubeAdaptiveRouting(Hypercube(4))
     report = verify_algorithm(alg, pair_limit=10)
     assert report.ok, report.errors
+
+
+def test_report_records_true_error_total_past_cap():
+    """``fail`` caps the stored counterexamples but must keep counting,
+    and ``summary`` must say the list is truncated."""
+    from repro.core.verification import VerificationReport
+
+    report = VerificationReport(algorithm="x")
+    for i in range(50):
+        report.fail("static_acyclic", f"counterexample {i}")
+    assert len(report.errors) == 20
+    assert report.error_total == 50
+    s = report.summary()
+    assert "truncated" in s
+    assert "showing 20 of 50" in s
+
+
+def test_report_summary_untruncated_has_no_marker():
+    from repro.core.verification import VerificationReport
+
+    report = VerificationReport(algorithm="x")
+    report.fail("static_acyclic", "one counterexample")
+    assert report.error_total == 1
+    assert "truncated" not in report.summary()
+
+
+def test_cyclic_static_order_failure_carries_witness():
+    """When the static QDG is cyclic the report attaches the analyzer's
+    cycle witness, not just a prose error."""
+    report = verify_algorithm(
+        _SwapDeadlock(Hypercube(2)),
+        check_minimal=False,
+        check_fully_adaptive=False,
+    )
+    assert not report.static_acyclic
+    assert report.witnesses
+    assert len(report.witnesses[0]) >= 2
+    assert "cycle" in " ".join(report.errors)

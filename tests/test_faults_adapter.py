@@ -183,3 +183,23 @@ def test_verify_under_faults_reports_honestly():
     # minimality claims are dropped, not re-asserted
     assert fv2.report.minimal is None
     assert "unreachable" in fv2.summary()
+
+
+def test_fault_verification_reuses_static_witnesses():
+    """Satellite: honesty evidence comes from the static analyzer's
+    witness builder — ``FaultVerification.witnesses`` is the report's
+    witness list, not a separately derived artifact."""
+    cube = Hypercube(3)
+    alg = HypercubeAdaptiveRouting(cube)
+    fv = verify_under_faults(alg, EMPTY_FAULTS)
+    assert fv.witnesses == fv.report.witnesses
+    assert fv.witnesses == []
+    # cut node 0 off: Section-2 conditions break and the summary quotes
+    # the analyzer's witnesses directly
+    fs = FaultSchedule.fixed(
+        cube, [link_down(0, 1), link_down(0, 2), link_down(0, 4)]
+    ).final
+    fv2 = verify_under_faults(alg, fs)
+    assert fv2.witnesses is fv2.report.witnesses
+    if fv2.witnesses:
+        assert fv2.witnesses[0].describe() in fv2.summary()

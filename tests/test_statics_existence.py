@@ -1,0 +1,142 @@
+"""Existence condition + scheme synthesis for arbitrary digraphs."""
+
+import networkx as nx
+import pytest
+
+from repro.core import verify_algorithm
+from repro.statics import deadlock_free_routing_exists, synthesize_routing
+from repro.statics.existence import as_directed_graph
+from repro.topology.graph import DirectedGraph
+
+RING5 = [(i, (i + 1) % 5) for i in range(5)]
+DAG = [("a", "b"), ("b", "c"), ("a", "c")]
+TWO_RINGS_BRIDGE = (
+    [(i, (i + 1) % 3) for i in range(3)]
+    + [(i + 10, (i + 1) % 3 + 10) for i in range(3)]
+    + [(0, 10)]
+)
+
+
+# -- DirectedGraph topology -------------------------------------------------
+
+
+def test_directed_graph_basics():
+    g = DirectedGraph(RING5, name="ring5")
+    assert g.num_nodes == 5
+    assert g.distance(0, 3) == 3
+    assert g.distance(3, 0) == 2  # around the ring
+    assert g.is_adjacent(0, 1) and not g.is_adjacent(1, 0)
+    assert g.reachable(0, 4)
+    assert "ring5" in g.name
+
+
+def test_directed_graph_drops_self_loops():
+    g = DirectedGraph([(0, 1), (1, 1), (1, 0)])
+    assert not g.is_adjacent(1, 1)
+    assert g._dropped_self_loops == 1
+
+
+def test_directed_graph_unreachable_distance_raises():
+    g = DirectedGraph([(0, 1)])
+    assert not g.reachable(1, 0)
+    with pytest.raises(ValueError):
+        g.distance(1, 0)
+
+
+def test_directed_graph_from_networkx():
+    g = DirectedGraph(nx.DiGraph(DAG))
+    assert g.num_nodes == 3
+    assert g.distance("a", "c") == 1
+
+
+# -- the existence condition ------------------------------------------------
+
+
+def test_acyclic_graph_needs_one_class():
+    rep = deadlock_free_routing_exists(DAG)
+    assert rep.acyclic
+    assert rep.min_classes == 1
+    assert rep.exists
+    assert rep.cycle is None
+    assert "acyclic" in rep.summary()
+
+
+def test_cyclic_graph_needs_two_classes():
+    rep = deadlock_free_routing_exists(RING5)
+    assert not rep.acyclic
+    assert rep.min_classes == 2
+    assert rep.exists  # default budget is 2 classes
+    assert rep.nontrivial_sccs == 1
+    # the 1-class obstruction witness is a real cycle of the graph
+    assert rep.cycle is not None
+    g = nx.DiGraph(RING5)
+    for u, v in rep.cycle:
+        assert g.has_edge(u, v)
+
+
+def test_one_class_budget_refused_on_cyclic_graph():
+    rep = deadlock_free_routing_exists(RING5, classes=1)
+    assert not rep.exists
+    assert rep.min_classes == 2
+
+
+def test_report_to_dict():
+    d = deadlock_free_routing_exists(RING5).to_dict()
+    assert d["min_classes"] == 2 and d["exists"] is True
+    assert d["nodes"] == 5 and d["edges"] == 5
+
+
+def test_as_directed_graph_normalizes():
+    assert as_directed_graph(RING5).num_nodes == 5
+    assert as_directed_graph(nx.DiGraph(DAG)).num_nodes == 3
+    g = DirectedGraph(DAG)
+    assert as_directed_graph(g) is g
+
+
+# -- synthesis: the sufficiency direction, mechanically checked -------------
+
+
+@pytest.mark.parametrize(
+    "edges,label",
+    [
+        (RING5, "ring5"),
+        (DAG, "dag"),
+        (TWO_RINGS_BRIDGE, "two-rings-bridge"),
+        ([(0, 1), (1, 1), (2, 3)], "selfloop-disconnected"),
+    ],
+    ids=["ring5", "dag", "two-rings-bridge", "selfloop-disconnected"],
+)
+def test_synthesized_scheme_verifies(edges, label):
+    alg = synthesize_routing(edges, name=label)
+    report = verify_algorithm(
+        alg, check_minimal=False, check_fully_adaptive=False
+    )
+    assert report.deadlock_free, report.summary()
+
+
+def test_synthesized_scheme_verifies_on_random_digraph():
+    """A fixed pseudo-random digraph (seeded, so deterministic)."""
+    import numpy as np
+
+    rng = np.random.default_rng(17)  # lint: ok
+    n = 8
+    edges = set()
+    while len(edges) < 17:
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u != v:
+            edges.add((u, v))
+    alg = synthesize_routing(sorted(edges), name="random-8n")
+    report = verify_algorithm(
+        alg, check_minimal=False, check_fully_adaptive=False
+    )
+    assert report.deadlock_free, report.summary()
+
+
+def test_synthesis_uses_one_class_on_acyclic():
+    alg = synthesize_routing(DAG)
+    assert len(alg.central_queue_kinds("a")) == 1
+
+
+def test_synthesis_uses_two_classes_on_cyclic():
+    alg = synthesize_routing(RING5)
+    assert len(alg.central_queue_kinds(0)) == 2

@@ -1,0 +1,256 @@
+"""The AST determinism lint: rules, waivers, and the clean-repo gate."""
+
+import textwrap
+
+import pytest
+
+from repro.statics import run_determinism_lint
+from repro.statics.lint import LintFinding
+
+
+def _lint_source(tmp_path, source, name="mod.py"):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / name).write_text(textwrap.dedent(source))
+    return run_determinism_lint(root=pkg)
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+# -- unseeded-rng -----------------------------------------------------------
+
+
+def test_flags_argless_default_rng(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        import numpy as np
+        rng = np.random.default_rng()
+        """,
+    )
+    assert _rules(findings) == ["unseeded-rng"]
+    assert "make_rng" in findings[0].message
+
+
+def test_seeded_default_rng_is_fine(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        import numpy as np
+        rng = np.random.default_rng(42)
+        seq = np.random.SeedSequence([1, 2])
+        """,
+    )
+    assert findings == []
+
+
+def test_flags_numpy_global_rng_and_randomstate(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        import numpy as np
+        x = np.random.shuffle([1, 2])
+        r = np.random.RandomState(0)
+        """,
+    )
+    assert _rules(findings) == ["unseeded-rng", "unseeded-rng"]
+
+
+def test_flags_stdlib_random_draws(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        import random
+        x = random.choice([1, 2])
+        y = random.Random()
+        """,
+    )
+    assert _rules(findings) == ["unseeded-rng", "unseeded-rng"]
+
+
+def test_stdlib_random_not_flagged_without_import(tmp_path):
+    """A local object that happens to be named ``random``."""
+    findings = _lint_source(
+        tmp_path,
+        """
+        random = get_stream()
+        x = random.choice([1, 2])
+        """,
+    )
+    assert findings == []
+
+
+def test_waiver_comment_suppresses(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        import numpy as np
+        rng = np.random.default_rng()  # lint: ok
+        """,
+    )
+    assert findings == []
+
+
+# -- set-iteration-order ----------------------------------------------------
+
+
+def test_flags_list_over_set_in_hot_path(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        def static_hops(self, q, dst, state):
+            return list({1, 2, 3})
+        """,
+    )
+    assert _rules(findings) == ["set-iteration-order"]
+
+
+def test_sorted_over_set_in_hot_path_is_fine(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        def static_hops(self, q, dst, state):
+            return sorted({1, 2, 3})
+        """,
+    )
+    assert findings == []
+
+
+def test_set_iteration_outside_hot_path_is_fine(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        def helper():
+            return list({1, 2, 3})
+        """,
+    )
+    assert findings == []
+
+
+def test_flags_next_iter_set_in_hot_path(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        def dynamic_hops(self, q, dst, state):
+            return next(iter({1, 2}))
+        """,
+    )
+    assert _rules(findings) == ["set-iteration-order"]
+
+
+def test_flags_early_exit_loop_over_set_in_hot_path(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        def injection_targets(self, src, dst):
+            for q in {1, 2, 3}:
+                if q > 1:
+                    return q
+        """,
+    )
+    assert _rules(findings) == ["set-iteration-order"]
+
+
+def test_exhaustive_loop_over_set_is_fine(tmp_path):
+    """Order-insensitive accumulation over a set is not flagged."""
+    findings = _lint_source(
+        tmp_path,
+        """
+        def static_hops(self, q, dst, state):
+            acc = set()
+            for x in {1, 2, 3}:
+                acc.add(x + 1)
+            return acc
+        """,
+    )
+    assert findings == []
+
+
+# -- observer-api -----------------------------------------------------------
+
+
+def test_flags_observer_hook_arity_drift(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        class LatencyObserver:
+            def on_cycle(self, sim):
+                pass
+        """,
+    )
+    assert _rules(findings) == ["observer-api"]
+    assert "on_cycle" in findings[0].message
+
+
+def test_correct_observer_hooks_are_fine(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        class LatencyObserver:
+            def on_cycle(self, sim, cycle):
+                pass
+
+            def on_stall(self, sim):
+                pass
+
+            def on_run_end(self, sim, result):
+                pass
+        """,
+    )
+    assert findings == []
+
+
+def test_flags_unknown_on_hook_on_observer_class(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        class DeadlockWatchdog:
+            def on_tick(self, sim):
+                pass
+        """,
+    )
+    assert _rules(findings) == ["observer-api"]
+    assert "never call it" in findings[0].message
+
+
+def test_unknown_on_method_on_plain_class_is_fine(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        class Widget:
+            def on_tick(self):
+                pass
+        """,
+    )
+    assert findings == []
+
+
+# -- plumbing ---------------------------------------------------------------
+
+
+def test_findings_sorted_and_formatted(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        import numpy as np
+        import random
+
+        b = random.choice([1])
+        a = np.random.default_rng()
+        """,
+    )
+    assert findings == sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+    )
+    assert isinstance(findings[0], LintFinding)
+    s = str(findings[0])
+    assert "pkg/mod.py" in s and "[unseeded-rng]" in s
+    d = findings[0].to_dict()
+    assert {"path", "line", "col", "rule", "message"} == set(d)
+
+
+def test_repo_is_lint_clean():
+    """The merge-gate condition: src/repro itself has no findings."""
+    assert run_determinism_lint() == []

@@ -1,0 +1,42 @@
+"""Replaying forced-wait witnesses into real engine deadlocks."""
+
+import pytest
+
+from repro.statics import analyze_algorithm
+from repro.statics.examples import broken_torus
+from repro.statics.replay import ReplayResult, replay_witness
+from repro.statics.witness import CycleWitness, STATIC_ORDER
+
+
+def test_replay_rejects_non_forced_wait_witness():
+    wit = CycleWitness(kind=STATIC_ORDER, rows=())
+    with pytest.raises(ValueError):
+        replay_witness(broken_torus(5), wit)
+
+
+@pytest.mark.slow
+def test_broken_torus_witness_replays_into_engine_deadlock():
+    """Acceptance criterion: the analyzer's minimal forced-wait witness
+    is not just a certificate refutation — fed back into the reference
+    engine it wedges the network for real."""
+    alg = broken_torus(5)
+    analysis = analyze_algorithm(alg)
+    wit = analysis.witnesses[0]
+    assert wit.replayable
+    result = replay_witness(alg, wit)
+    assert isinstance(result, ReplayResult)
+    assert result.deadlocked, result.detail
+    assert bool(result)
+    # deadlock means packets stayed undelivered
+    assert result.delivered < result.total
+
+
+@pytest.mark.slow
+def test_replay_needs_backlog_to_wedge():
+    """With too few packets per row the pipeline drains: the witness
+    cycle only closes once the queue + both line buffers are full."""
+    alg = broken_torus(5)
+    wit = analyze_algorithm(alg).witnesses[0]
+    result = replay_witness(alg, wit, packets_per_row=2)
+    assert not result.deadlocked
+    assert result.delivered == result.total

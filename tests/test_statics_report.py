@@ -1,0 +1,99 @@
+"""JSON + SARIF report formats for the static analyzer."""
+
+import json
+
+import pytest
+
+from repro.statics import to_json_report, to_sarif
+from repro.statics.lint import LintFinding
+from repro.statics.registry import target_by_key
+
+
+@pytest.fixture(scope="module")
+def analyses():
+    return {
+        "pass": target_by_key("torus").analyze(),
+        "fail": target_by_key("unrestricted-torus").analyze(),
+    }
+
+
+def _expectations(analyses):
+    return {
+        analyses["pass"].name: "pass",
+        analyses["fail"].name: "fail",
+    }
+
+
+def test_json_report_schema_and_gate(analyses):
+    doc = to_json_report(
+        list(analyses.values()), expectations=_expectations(analyses)
+    )
+    assert doc["schema"] == "repro-static-analysis/1"
+    assert doc["gate_ok"] is True  # fail-expected target failed as expected
+    assert len(doc["instances"]) == 2
+    by_name = {r["name"]: r for r in doc["instances"]}
+    passing = by_name[analyses["pass"].name]
+    failing = by_name[analyses["fail"].name]
+    assert passing["certified"] and passing["gate_ok"]
+    assert not failing["certified"] and failing["gate_ok"]
+    assert failing["witnesses"][0]["rows"]
+    json.dumps(doc)  # must be serializable as-is
+
+
+def test_json_report_gate_breaks_on_unexpected_failure(analyses):
+    doc = to_json_report(
+        [analyses["fail"]],
+        expectations={analyses["fail"].name: "pass"},
+    )
+    assert doc["gate_ok"] is False
+
+
+def test_json_report_gate_breaks_on_lint_findings(analyses):
+    finding = LintFinding("repro/x.py", 1, 0, "unseeded-rng", "boom")
+    doc = to_json_report(
+        [analyses["pass"]],
+        findings=[finding],
+        expectations=_expectations(analyses),
+    )
+    assert doc["gate_ok"] is False
+    assert doc["determinism_findings"] == [finding.to_dict()]
+
+
+def test_sarif_document_shape(analyses):
+    doc = to_sarif(
+        list(analyses.values()),
+        findings=[LintFinding("repro/x.py", 3, 1, "observer-api", "drift")],
+        expectations=_expectations(analyses),
+    )
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {
+        "deadlock-freedom",
+        "unseeded-rng",
+        "set-iteration-order",
+        "observer-api",
+    } == rule_ids
+    # one result for the refuted instance, one for the lint finding;
+    # the certified instance produces none
+    assert len(run["results"]) == 2
+    deadlock = next(
+        r for r in run["results"] if r["ruleId"] == "deadlock-freedom"
+    )
+    # registered negative example at note level (gate is green)
+    assert deadlock["level"] == "note"
+    assert deadlock["properties"]["witnesses"]
+    lint = next(r for r in run["results"] if r["ruleId"] == "observer-api")
+    assert lint["level"] == "error"
+    loc = lint["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "repro/x.py"
+    assert loc["region"]["startLine"] == 3
+    json.dumps(doc)
+
+
+def test_sarif_unexpected_failure_is_error_level(analyses):
+    doc = to_sarif(
+        [analyses["fail"]], expectations={analyses["fail"].name: "pass"}
+    )
+    assert doc["runs"][0]["results"][0]["level"] == "error"
