@@ -260,6 +260,20 @@ def cmd_telemetry(args) -> int:
             f"events={len(probe.log)} "
             f"dyn_hops={probe.summary['hops']['dynamic_fraction']:.3f}"
         )
+        compiled_stats = probe.summary.get("routing_compile")
+        if compiled_stats:
+            if compiled_stats["kind"] == "tables":
+                print(
+                    f"  tables: kernel={compiled_stats['kernel']} "
+                    f"rows={compiled_stats['rows']} "
+                    f"bytes={compiled_stats['bytes']} "
+                    f"compile_s={compiled_stats['compile_seconds']:.3f}"
+                )
+            else:
+                print(
+                    f"  plan cache: entries={compiled_stats['entries']} "
+                    f"bytes={compiled_stats['bytes']}"
+                )
         for name in sorted(paths):
             print(f"  {name}: {paths[name]}")
         logs[engine] = probe.log.to_jsonl()

@@ -1,0 +1,206 @@
+"""Integer hop kernels: the ``compile_hops()`` compilation target.
+
+The routing functions of this repo are *pure*: every candidate set is a
+deterministic function of ``(queue, destination, state)``.  The generic
+engines evaluate them symbolically (frozensets of
+:class:`~repro.core.queues.QueueId`), and
+:class:`~repro.sim.plans.RoutingPlanCache` memoizes the resolved
+answer — but the memo-miss path still allocates Python objects, which
+is what bounds the vector engine under saturated traffic
+(docs/PERFORMANCE.md).  A *hop kernel* is the same hop relation
+re-expressed directly over the dense integer identifiers of
+:class:`~repro.sim.tables.RoutingTables`, so a row miss costs integer
+arithmetic instead of frozenset/QueueId churn.
+
+Contract (see docs/ARCHITECTURE.md, "Table compilation"):
+
+* :meth:`HopKernel.central_row`, :meth:`HopKernel.entry_row` and
+  :meth:`HopKernel.injection_row` must return *exactly* the rows the
+  plan-cache translation in :class:`~repro.sim.tables.RoutingTables`
+  would build — same candidate order (statics before dynamics,
+  first-wins per physical buffer, external candidates slot-ascending),
+  same entry fold, same injection order — because engines and the
+  static analyzer consume both paths interchangeably;
+* any method may return ``None`` for any key: the caller falls back to
+  the plan-cache translation for that row.  Kernels use this to decline
+  keys whose symbolic evaluation raises intentionally (exhausted
+  shuffle counters, off-network Benes injections), so error messages
+  stay byte-identical with the generic engines;
+* a ``compile_hops()`` implementation must return ``None`` (no kernel)
+  whenever it cannot vouch for identity — unknown subclass, unexpected
+  topology, inhomogeneous queue structure.  Fallback is always safe.
+
+:class:`TableHopKernel` implements the generic row assembly (first-wins
+slot filtering, the entry fold, injection resolution) on top of two
+per-algorithm primitives — :meth:`TableHopKernel.candidates` and
+:meth:`TableHopKernel.inject_candidates` — so an algorithm's kernel
+only re-states its hop relation, not the engine semantics.
+
+This module also owns the internal-step action codes shared by the
+plan cache and the kernels (``sim.plans`` re-exports them for
+backwards compatibility).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .routing_function import DYNAMIC_CLASS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim imports core)
+    from ..sim.tables import RoutingTables
+
+__all__ = [
+    "DELIVER_STEP",
+    "SELF_STEP",
+    "MOVE_STEP",
+    "HopKernel",
+    "TableHopKernel",
+]
+
+#: Internal-step action codes (shared by plan cache, tables and kernels).
+DELIVER_STEP = 0  #: move to the delivery queue
+SELF_STEP = 1  #: degenerate self-hop: state advances in place
+MOVE_STEP = 2  #: move into a sibling central queue (capacity permitting)
+
+
+class HopKernel:
+    """Base class for compiled hop relations.
+
+    Subclasses override the three row methods; each may return ``None``
+    per key to decline (the caller falls back to the plan-cache
+    translation, which must then produce the identical row or raise the
+    identical error the symbolic evaluation would).
+    """
+
+    def central_row(self, qid: int, dst_i: int, sid: int):
+        return None
+
+    def entry_row(self, qid: int, dst_i: int, sid: int):
+        return None
+
+    def injection_row(self, ui: int, dst_i: int, sid: int):
+        return None
+
+
+class TableHopKernel(HopKernel):
+    """Generic row assembly over per-algorithm integer primitives.
+
+    A subclass states the raw hop relation via
+
+    * :meth:`candidates` — ``(static, dynamic)`` sequences of
+      ``(next_queue_gid, new_state_id)`` pairs (``-1`` for the delivery
+      queue), *before* slot filtering, in the same candidate order the
+      symbolic ``static_hops`` / ``dynamic_hops`` would surface them;
+    * :meth:`inject_candidates` — injection targets in the reference
+      engine's ``sorted(targets)`` order, with the injection
+      ``update_state`` already applied;
+
+    and this base class replays the engine semantics: first-wins per
+    ``(neighbor, class)``, drop candidates without a physical buffer
+    *after* first-wins, external candidates slot-ascending, the
+    forced-phase-switch entry fold, injection entry resolution.
+
+    Requires a *homogeneous* queue structure (same
+    ``central_queue_kinds`` tuple at every node) so global queue ids
+    factor as ``node_index * n_kinds + kind_index``; construction sets
+    :attr:`ok` False otherwise and ``compile_hops()`` should then
+    return ``None``.
+    """
+
+    def __init__(self, layout: "RoutingTables"):
+        self.t = layout
+        n = len(layout.nodes)
+        nk = len(layout.node_qids[0]) if n else 0
+        kinds = tuple(layout.queue_kind[:nk])
+        self.nk = nk
+        self.kinds = kinds
+        self.ok = (
+            nk > 0
+            and len(layout.queue_kind) == nk * n
+            and layout.queue_kind == list(kinds) * n
+        )
+
+    # -- per-algorithm primitives --------------------------------------
+    def candidates(self, qid: int, dst_i: int, sid: int):
+        """``(static, dynamic)`` candidate pairs, or ``None`` to decline."""
+        raise NotImplementedError
+
+    def inject_candidates(self, ui: int, dst_i: int, sid: int):
+        """Injection ``(queue_gid, state_id)`` pairs, or ``None``."""
+        raise NotImplementedError
+
+    # -- generic row assembly ------------------------------------------
+    def central_row(self, qid: int, dst_i: int, sid: int):
+        cands = self.candidates(qid, dst_i, sid)
+        if cands is None:
+            return None
+        t = self.t
+        statics, dynamics = cands
+        queue_node = t.queue_node
+        queue_kind = t.queue_kind
+        slot_of = t.slot_of
+        ui = queue_node[qid]
+        ext: list[tuple[int, int, int, int]] = []
+        internal: list[tuple[int, int, int]] = []
+        seen: set[tuple[int, str]] | None = None
+        for dyn, cl in ((0, statics), (1, dynamics)):
+            for q2, nsid in cl:
+                if q2 < 0:
+                    internal.append((DELIVER_STEP, -1, sid))
+                    continue
+                vi = queue_node[q2]
+                if vi == ui:
+                    if q2 == qid:
+                        internal.append((SELF_STEP, q2, nsid))
+                    else:
+                        internal.append((MOVE_STEP, q2, nsid))
+                    continue
+                cls = DYNAMIC_CLASS if dyn else queue_kind[q2]
+                key = (vi, cls)
+                if seen is None:
+                    seen = {key}
+                elif key in seen:
+                    continue  # first-wins per (neighbor, class)
+                else:
+                    seen.add(key)
+                s = slot_of.get((ui, vi, cls))
+                if s is not None:
+                    ext.append((s, q2, nsid, dyn))
+        ext.sort()
+        return (
+            tuple(c[0] for c in ext),
+            tuple(c[1] for c in ext),
+            tuple(c[2] for c in ext),
+            tuple(c[3] for c in ext),
+            tuple(internal),
+        )
+
+    def entry_row(self, qid: int, dst_i: int, sid: int):
+        # The forced-phase-switch fold of RoutingPlanCache._resolve_entry.
+        queue_node = self.t.queue_node
+        node = queue_node[qid]
+        for _ in range(8):  # bounded by the internal-chain length
+            cands = self.candidates(qid, dst_i, sid)
+            if cands is None:
+                return None
+            statics, dynamics = cands
+            if dynamics or len(statics) != 1:
+                break
+            q2, nsid = statics[0]
+            if q2 < 0 or q2 == qid or queue_node[q2] != node:
+                break
+            qid, sid = q2, nsid
+        return (qid, sid)
+
+    def injection_row(self, ui: int, dst_i: int, sid: int):
+        cl = self.inject_candidates(ui, dst_i, sid)
+        if cl is None:
+            return None
+        out = []
+        for q2, nsid in cl:
+            resolved = self.entry_row(q2, dst_i, nsid)
+            if resolved is None:
+                return None
+            out.append(resolved)
+        return tuple(out)

@@ -136,6 +136,23 @@ class RoutingAlgorithm(ABC):
         return self.central_queue_kinds(v) + (DYNAMIC_CLASS,)
 
     # ------------------------------------------------------------------
+    # Table compilation (optional fast path)
+    # ------------------------------------------------------------------
+    def compile_hops(self, layout) -> Any:
+        """Compile this hop relation onto ``layout``'s integer ids.
+
+        ``layout`` is a :class:`~repro.sim.tables.RoutingTables`
+        instance.  Return a :class:`~repro.core.hops.HopKernel` whose
+        rows are *identical* to the plan-cache translation (same
+        candidate order, entry fold and injection order — see the
+        contract in :mod:`repro.core.hops`), or ``None`` to keep the
+        symbolic fallback.  Implementations must return ``None`` for
+        unrecognized subclasses or topologies: correctness first, the
+        kernel is purely a performance lever.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
     def is_internal(self, q_from: QueueId, q_to: QueueId) -> bool:

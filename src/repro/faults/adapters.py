@@ -38,9 +38,11 @@ the compiled engine to drop its now-stale routing plans.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterable
 
+from ..core.hops import HopKernel
 from ..core.queues import QueueId
 from ..core.routing_function import RoutingAlgorithm
 from ..core.verification import VerificationReport, verify_algorithm
@@ -84,11 +86,22 @@ class FaultAwareRouting(RoutingAlgorithm):
         self.active: FaultSet = faults if faults is not None else EMPTY_FAULTS
         #: Per-epoch memo of detour hop sets keyed ``(q, dst)``.
         self._detour_memo: dict[tuple[QueueId, Hashable], frozenset] = {}
+        #: Weak refs to RoutingTables layouts compiled against this
+        #: adapter; their packed rows die with the epoch.
+        self._layouts: list[weakref.ref] = []
 
     def set_active(self, faults: FaultSet | None) -> None:
         """Install the fault set of a new epoch."""
         self.active = faults if faults is not None else EMPTY_FAULTS
         self._detour_memo.clear()
+        if self._layouts:
+            live = []
+            for ref in self._layouts:
+                layout = ref()
+                if layout is not None:
+                    layout.clear_rows()
+                    live.append(ref)
+            self._layouts = live
 
     # ------------------------------------------------------------------
     # Structure and state: delegated untouched
@@ -240,6 +253,62 @@ class FaultAwareRouting(RoutingAlgorithm):
             out = frozenset()
         self._detour_memo[key] = out
         return out
+
+    def compile_hops(self, layout):
+        """Epoch-gated pass-through of the inner algorithm's kernel.
+
+        While the live fault set is empty the adapter's hop relations
+        *are* the inner algorithm's, so the inner kernel's rows stay
+        valid; under any active fault the gate declines every key and
+        the symbolic filtering above takes over.  ``set_active``
+        registers the layout so an epoch change drops its packed rows
+        and memos (``clear_rows``) — engines that drive fault epochs
+        must additionally invalidate their own per-message memos,
+        exactly as
+        :meth:`~repro.sim.compiled.CompiledPacketSimulator.invalidate_plans`
+        already does.
+        """
+        if type(self) is not FaultAwareRouting:
+            return None
+        hook = getattr(self.inner, "compile_hops", None)
+        inner_kernel = hook(layout) if hook is not None else None
+        if inner_kernel is None:
+            return None
+        self._layouts.append(weakref.ref(layout))
+        return _FaultGatedKernel(layout, self, inner_kernel)
+
+
+class _FaultGatedKernel(HopKernel):
+    """Delegate to the healthy inner kernel; decline under faults."""
+
+    def __init__(self, layout, adapter: FaultAwareRouting, inner: HopKernel):
+        self.t = layout
+        self.adapter = adapter
+        self.inner = inner
+        self._epoch: FaultSet = adapter.active
+
+    def _healthy(self) -> bool:
+        fs = self.adapter.active
+        if fs is not self._epoch:
+            # New fault epoch: every packed row is stale.
+            self._epoch = fs
+            self.t.clear_rows()
+        return not fs.any
+
+    def central_row(self, qid: int, dst_i: int, sid: int):
+        if not self._healthy():
+            return None
+        return self.inner.central_row(qid, dst_i, sid)
+
+    def entry_row(self, qid: int, dst_i: int, sid: int):
+        if not self._healthy():
+            return None
+        return self.inner.entry_row(qid, dst_i, sid)
+
+    def injection_row(self, ui: int, dst_i: int, sid: int):
+        if not self._healthy():
+            return None
+        return self.inner.injection_row(ui, dst_i, sid)
 
 
 class FaultInjector:

@@ -23,6 +23,7 @@ from typing import Any, Hashable
 
 import numpy as np
 
+from ..core.hops import TableHopKernel
 from ..core.queues import QueueId, deliver
 from ..core.routing_function import RoutingAlgorithm
 from ..sim.traffic import TrafficPattern
@@ -75,6 +76,13 @@ class BenesAdaptiveRouting(RoutingAlgorithm):
         v = (l + 1, (r & ~bit) | (want << j))
         return frozenset({QueueId(v, Q)})
 
+    def compile_hops(self, layout):
+        oblivious = _KERNEL_VARIANTS.get(type(self))
+        if oblivious is None or type(self.topology) is not BenesNetwork:
+            return None
+        kernel = _BenesKernel(layout, self, oblivious)
+        return kernel if kernel.ok else None
+
 
 class BenesObliviousRouting(BenesAdaptiveRouting):
     """Bit-controlled single-path baseline (straight in the free half)."""
@@ -91,6 +99,58 @@ class BenesObliviousRouting(BenesAdaptiveRouting):
             straight = QueueId((u[0] + 1, u[1]), Q)
             return frozenset({straight})
         return hops
+
+
+class _BenesKernel(TableHopKernel):
+    """Integer hop kernel for leveled Beneš routing.
+
+    Nodes are level-major (``index = level * rows + row``) and there is
+    one queue kind, so queue ids equal node indices.  Off-network keys
+    (messages past the output level, injections not input-to-output)
+    are declined so the symbolic path raises its usual errors.
+    """
+
+    def __init__(self, layout, alg: BenesAdaptiveRouting, oblivious):
+        super().__init__(layout)
+        n = alg.n
+        self.n = n
+        self.rows = 1 << n
+        self.oblivious = oblivious
+        if self.kinds != (Q,) or layout.nodes != [
+            (l, r) for l in range(2 * n + 1) for r in range(self.rows)
+        ]:
+            self.ok = False
+
+    def candidates(self, qid: int, dst_i: int, sid: int):
+        if qid == dst_i:
+            return ((-1, sid),), ()
+        rows = self.rows
+        l, r = divmod(qid, rows)
+        if l < self.n:
+            # Free half: straight and cross out-links.
+            straight = qid + rows
+            if self.oblivious:
+                return ((straight, sid),), ()
+            bit = 1 << (self.n - 1 - l)
+            return ((straight, sid), (straight ^ bit, sid)), ()
+        if l >= 2 * self.n:
+            return None  # symbolic path raises "no stage at level ..."
+        j = l - self.n  # forced half: stage n+j fixes row bit j
+        want = (dst_i % rows >> j) & 1
+        bit = 1 << j
+        return (((l + 1) * rows + ((r & ~bit) | (want << j)), sid),), ()
+
+    def inject_candidates(self, ui: int, dst_i: int, sid: int):
+        if ui >= self.rows or dst_i < 2 * self.n * self.rows:
+            return None  # symbolic path raises the level-check ValueError
+        return ((ui, sid),)
+
+
+#: Exact classes the kernel vouches for -> oblivious flag.
+_KERNEL_VARIANTS = {
+    BenesAdaptiveRouting: False,
+    BenesObliviousRouting: True,
+}
 
 
 class BenesTraffic(TrafficPattern):

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Hashable
 
+from ..core.hops import TableHopKernel
 from ..core.queues import QueueId, deliver
 from ..core.routing_function import RoutingAlgorithm
 from ..topology.base import Topology
@@ -69,3 +70,47 @@ class StructuredBufferPoolRouting(RoutingAlgorithm):
             for v in topo.neighbors(u)
             if topo.distance(v, dst) == du - 1
         )
+
+    def compile_hops(self, layout):
+        if type(self) is not StructuredBufferPoolRouting:
+            return None
+        kernel = _BufferPoolKernel(layout, self)
+        return kernel if kernel.ok else None
+
+
+class _BufferPoolKernel(TableHopKernel):
+    """Integer hop kernel for the hop-level buffer pool.
+
+    Topology-agnostic: kind index equals the hop level, and minimal
+    next hops come from the topology's own ``neighbors``/``distance``
+    (the same calls the symbolic path makes).  Level-exhausted keys
+    are declined so the symbolic path raises its usual error.
+    """
+
+    def __init__(self, layout, alg: StructuredBufferPoolRouting):
+        super().__init__(layout)
+        self.alg = alg
+        self.levels = alg.levels
+        if self.kinds != tuple(_level_kind(h) for h in range(self.levels)):
+            self.ok = False
+
+    def candidates(self, qid: int, dst_i: int, sid: int):
+        ui, h = divmod(qid, self.nk)
+        if ui == dst_i:
+            return ((-1, sid),), ()
+        if h + 1 >= self.levels:
+            return None  # symbolic path raises "exceeded buffer-pool levels"
+        t = self.t
+        topo = self.alg.topology
+        u = t.nodes[ui]
+        dst = t.nodes[dst_i]
+        du = topo.distance(u, dst)
+        st = tuple(
+            (t.nid[v] * self.nk + h + 1, sid)
+            for v in topo.neighbors(u)
+            if topo.distance(v, dst) == du - 1
+        )
+        return st, ()
+
+    def inject_candidates(self, ui: int, dst_i: int, sid: int):
+        return ((ui * self.nk, sid),)

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..core.hops import TableHopKernel
 from ..core.queues import QueueId, deliver
 from ..core.routing_function import RoutingAlgorithm
 from ..topology.ccc import CubeConnectedCycles, Node
@@ -129,3 +130,72 @@ class CCCAdaptiveRouting(RoutingAlgorithm):
             topo: CubeConnectedCycles = self.topology
             return frozenset({QueueId(topo.cube_partner(u), "P1a")})
         return frozenset()
+
+    def compile_hops(self, layout):
+        if (
+            type(self) is not CCCAdaptiveRouting
+            or type(self.topology) is not CubeConnectedCycles
+        ):
+            return None
+        kernel = _CCCKernel(layout, self)
+        return kernel if kernel.ok else None
+
+
+class _CCCKernel(TableHopKernel):
+    """Integer hop kernel for the two-phase CCC scheme.
+
+    Node ``(w, p)`` has index ``w * n + p`` (cycle-position-major
+    within a cycle), so the cube partner is ``(w ^ (1 << p)) * n + p``
+    and the ascending cycle step is position arithmetic; kind index
+    factors as ``2 * (phase - 1) + cls``.  Stateless.
+    """
+
+    def __init__(self, layout, alg: CCCAdaptiveRouting):
+        super().__init__(layout)
+        n = alg.n
+        self.n = n
+        self.mask = alg.topology._mask
+        self.adaptive = alg.adaptive
+        if self.kinds != ("P1a", "P1b", "P2a", "P2b") or layout.nodes != [
+            (w, p) for w in range(1 << n) for p in range(n)
+        ]:
+            self.ok = False
+
+    def _cycle_hop_i(self, w: int, p: int, phase2: int, cls: int) -> int:
+        np_ = p + 1
+        if np_ == self.n:
+            np_ = 0
+        if np_ == 0:
+            cls = 1  # entering position 0 bumps the class (min(cls+1, 1))
+        return (w * self.n + np_) * 4 + 2 * phase2 + cls
+
+    def candidates(self, qid: int, dst_i: int, sid: int):
+        ui, ki = divmod(qid, 4)
+        if ui == dst_i:
+            return ((-1, sid),), ()
+        n = self.n
+        w, p = divmod(ui, n)
+        dst_w = dst_i // n
+        phase2, cls = divmod(ki, 2)
+        partner = ((w ^ (1 << p)) * n + p) * 4
+        if not phase2:
+            rising = ~w & dst_w & self.mask
+            if not rising:
+                return ((ui * 4 + 2, sid),), ()  # switch to P2a in place
+            dy = ()
+            if self.adaptive and ((w & ~dst_w) >> p) & 1:
+                dy = ((partner, sid),)  # early 1 -> 0 over a dynamic link
+            if (rising >> p) & 1:
+                return ((partner, sid),), dy  # mandatory 0 -> 1
+            return ((self._cycle_hop_i(w, p, 0, cls), sid),), dy
+        falling = w & ~dst_w & self.mask
+        if (falling >> p) & 1:
+            return ((partner + 2, sid),), ()  # mandatory 1 -> 0 (P2a)
+        return ((self._cycle_hop_i(w, p, 1, cls), sid),), ()
+
+    def inject_candidates(self, ui: int, dst_i: int, sid: int):
+        n = self.n
+        w = ui // n
+        dst_w = dst_i // n
+        phase2 = 0 if ~w & dst_w & self.mask else 2
+        return ((ui * 4 + phase2, sid),)

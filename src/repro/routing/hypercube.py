@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Any, Hashable
 
+from ..core.hops import TableHopKernel
 from ..core.queues import QueueId, deliver
 from ..core.routing_function import DYNAMIC_CLASS, RoutingAlgorithm
 from ..topology.hypercube import Hypercube
@@ -119,6 +120,13 @@ class HypercubeHungRouting(RoutingAlgorithm):
             return (QA,)
         return (QB,)
 
+    def compile_hops(self, layout):
+        variant = _KERNEL_VARIANTS.get(type(self))
+        if variant is None or type(self.topology) is not Hypercube:
+            return None
+        kernel = _HypercubeKernel(layout, self, *variant)
+        return kernel if kernel.ok else None
+
 
 class HypercubeAdaptiveRouting(HypercubeHungRouting):
     """The paper's fully-adaptive minimal algorithm (Theorem 1).
@@ -176,6 +184,74 @@ class HypercubeObliviousRouting(HypercubeHungRouting):
         u = q.node
         best = min(movers, key=lambda h: (u ^ h.node).bit_length())
         return frozenset({best})
+
+
+class _HypercubeKernel(TableHopKernel):
+    """Integer hop kernel for the two-phase hypercube schemes.
+
+    Global queue id factors as ``node * 2 + phase`` (phase 0 = ``qA``,
+    1 = ``qB``); node labels equal node indices, so the hop relation is
+    pure bit arithmetic.  Down-phase-B hops (clearing a 1 via a
+    down-link) survive here and are slot-dropped by the generic
+    assembly, exactly as the symbolic path drops them.
+    """
+
+    def __init__(self, layout, alg: HypercubeHungRouting, adaptive, oblivious):
+        super().__init__(layout)
+        self.mask = alg.topology._mask
+        self.adaptive = adaptive
+        self.oblivious = oblivious
+        if self.kinds != (QA, QB) or layout.nodes != list(
+            range(len(layout.nodes))
+        ):
+            self.ok = False
+
+    def candidates(self, qid: int, dst: int, sid: int):
+        u = qid >> 1
+        if u == dst:
+            return ((-1, sid),), ()
+        if qid & 1 == 0:  # phase A
+            zeros = ~u & dst & self.mask
+            if not zeros:
+                # Only incorrect ones remain: change phase in place.
+                return (((u << 1) | 1, sid),), ()
+            if self.oblivious and zeros & (zeros - 1):
+                zeros &= -zeros  # lowest eligible dimension only
+            st = []
+            while zeros:
+                low = zeros & -zeros
+                st.append(((u ^ low) << 1, sid))
+                zeros ^= low
+            dy = []
+            if self.adaptive:
+                ones = u & ~dst & self.mask
+                while ones:
+                    low = ones & -ones
+                    dy.append(((u ^ low) << 1, sid))
+                    ones ^= low
+            return tuple(st), tuple(dy)
+        diffs = u ^ dst  # phase B
+        if self.oblivious and diffs & (diffs - 1):
+            diffs &= -diffs
+        st = []
+        while diffs:
+            low = diffs & -diffs
+            st.append((((u ^ low) << 1) | 1, sid))
+            diffs ^= low
+        return tuple(st), ()
+
+    def inject_candidates(self, ui: int, dst: int, sid: int):
+        if ~ui & dst & self.mask:
+            return ((ui << 1, sid),)
+        return (((ui << 1) | 1, sid),)
+
+
+#: Exact classes the kernel vouches for -> (adaptive, oblivious).
+_KERNEL_VARIANTS = {
+    HypercubeHungRouting: (False, False),
+    HypercubeAdaptiveRouting: (True, False),
+    HypercubeObliviousRouting: (False, True),
+}
 
 
 def all_hypercube_algorithms(n: int) -> dict[str, RoutingAlgorithm]:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..core.hops import TableHopKernel
 from ..core.queues import QueueId, deliver
 from ..core.routing_function import RoutingAlgorithm
 from ..topology.mesh import Coord, Mesh, Mesh2D
@@ -92,6 +93,13 @@ class MeshRestrictedRouting(RoutingAlgorithm):
             )
         raise ValueError(f"no hops from {q}")
 
+    def compile_hops(self, layout):
+        variant = _KERNEL_VARIANTS.get(type(self))
+        if variant is None or type(self.topology) not in (Mesh, Mesh2D):
+            return None
+        kernel = _MeshKernel(layout, self, *variant)
+        return kernel if kernel.ok else None
+
 
 class MeshAdaptiveRouting(MeshRestrictedRouting):
     """The paper's fully-adaptive minimal mesh algorithm (Theorem 2).
@@ -140,6 +148,67 @@ class MeshObliviousRouting(MeshRestrictedRouting):
         return frozenset({movers[0]})
 
 
+class _MeshKernel(TableHopKernel):
+    """Integer hop kernel for the two-phase mesh schemes.
+
+    Node indices are lexicographic coordinate ranks, so a ``+1`` step
+    in dimension ``i`` is ``+stride[i]`` on the index; global queue id
+    factors as ``node * 2 + phase``.  The node-index order equals the
+    coordinate-tuple order, so the oblivious tie-break (lowest node)
+    is ``min`` over candidate indices.
+    """
+
+    def __init__(self, layout, alg: MeshRestrictedRouting, adaptive, oblivious):
+        super().__init__(layout)
+        shape = alg.topology.shape
+        self.k = alg.k
+        strides = [1] * self.k
+        for i in range(self.k - 2, -1, -1):
+            strides[i] = strides[i + 1] * shape[i + 1]
+        self.strides = tuple(strides)
+        self.adaptive = adaptive
+        self.oblivious = oblivious
+        if self.kinds != (QA, QB):
+            self.ok = False
+
+    def candidates(self, qid: int, dst_i: int, sid: int):
+        ui = qid >> 1
+        if ui == dst_i:
+            return ((-1, sid),), ()
+        nodes = self.t.nodes
+        u = nodes[ui]
+        d = nodes[dst_i]
+        strides = self.strides
+        rng = range(self.k)
+        if qid & 1 == 0:  # phase A
+            st = [((ui + strides[i]) << 1, sid) for i in rng if d[i] > u[i]]
+            if not st:
+                # Only decreasing corrections remain: phase flip in place.
+                return ((qid | 1, sid),), ()
+            if self.oblivious and len(st) > 1:
+                st = [min(st)]
+            dy = ()
+            if self.adaptive:
+                dy = tuple(
+                    ((ui - strides[i]) << 1, sid) for i in rng if d[i] < u[i]
+                )
+            return tuple(st), dy
+        st = [  # phase B
+            (((ui - strides[i]) << 1) | 1, sid) for i in rng if d[i] < u[i]
+        ]
+        if self.oblivious and len(st) > 1:
+            st = [min(st)]
+        return tuple(st), ()
+
+    def inject_candidates(self, ui: int, dst_i: int, sid: int):
+        nodes = self.t.nodes
+        u = nodes[ui]
+        d = nodes[dst_i]
+        if any(d[i] > u[i] for i in range(self.k)):
+            return ((ui << 1, sid),)
+        return (((ui << 1) | 1, sid),)
+
+
 class Mesh2DRestrictedRouting(MeshRestrictedRouting):
     """Section 4's first routing function, on a 2-D mesh."""
 
@@ -160,3 +229,13 @@ class Mesh2DAdaptiveRouting(MeshAdaptiveRouting):
         if not isinstance(topology, Mesh2D):
             raise TypeError("requires a Mesh2D topology")
         super().__init__(topology)
+
+
+#: Exact classes the kernel vouches for -> (adaptive, oblivious).
+_KERNEL_VARIANTS = {
+    MeshRestrictedRouting: (False, False),
+    MeshAdaptiveRouting: (True, False),
+    MeshObliviousRouting: (False, True),
+    Mesh2DRestrictedRouting: (False, False),
+    Mesh2DAdaptiveRouting: (True, False),
+}

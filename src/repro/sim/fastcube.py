@@ -1,19 +1,21 @@
 """Specialized fast simulator for the hypercube algorithms.
 
-:class:`~repro.sim.engine.PacketSimulator` is generic over any
-topology/routing-function pair, which costs it frozenset and QueueId
-churn in the inner loop.  This module re-implements the *same
-Section-7.1 semantics* for the hypercube two-phase algorithms only,
-with integer bit operations and pre-compiled per-node buffer tables —
-roughly an order of magnitude faster, which is what makes the paper's
-n = 10..14 range practical in pure Python.
+Historically this module carried its own hand-rolled integer engine
+(bit-twiddling buffer tables, ~10x over the reference engine).  The
+integer hop kernel of :mod:`repro.routing.hypercube` plus the batched
+node cycle of :class:`~repro.sim.vector.VectorSimulator` now produce
+the same integer tables and the same per-cycle work from the generic
+machinery, so :class:`FastHypercubeSimulator` is a thin subclass: it
+keeps the historical engine's strict constructor contract (hypercube
+two-phase algorithms only, no observers, FIFO service with the paper
+buffer policy) and delegates everything else.
 
-Equivalence is not approximate: the fast engine mirrors the reference
-engine's iteration orders (buffer fill low -> high dimension, FIFO
-entry ranks, rotating input fairness, per-link class rotation) and
-consumes the *same* injection-model objects, so a run with the same
-seed produces identical per-packet latencies.  The test-suite
-cross-validates this packet-for-packet
+Equivalence is not approximate: the vector engine replays the
+reference engine's iteration orders (buffer fill low -> high
+dimension, FIFO entry ranks, rotating input fairness, per-link class
+rotation) and consumes the *same* injection-model objects, so a run
+with the same seed produces identical per-packet latencies.  The
+test-suite cross-validates this packet-for-packet
 (``tests/test_sim_fastcube.py``).
 
 Restrictions (engine matrix: ``docs/ARCHITECTURE.md``): hypercube
@@ -30,22 +32,18 @@ Everything within that envelope matches :class:`PacketSimulator`
 
 from __future__ import annotations
 
-from ..core.message import Message
 from ..routing.hypercube import (
     HypercubeAdaptiveRouting,
     HypercubeHungRouting,
 )
-from ..topology.hypercube import Hypercube
-from .engine import DeadlockError
 from .injection import InjectionModel
-from .metrics import LatencyStats, SimulationResult
+from .tables import EngineCapabilityError
+from .vector import VectorSimulator
 
-# Buffer class codes.
-_A, _B, _DYN = 0, 1, 2
-_CLS_NAME = {_A: "A", _B: "B", _DYN: "dyn"}
+__all__ = ["FastHypercubeSimulator"]
 
 
-class FastHypercubeSimulator:
+class FastHypercubeSimulator(VectorSimulator):
     """Drop-in fast engine for hypercube two-phase routing."""
 
     def __init__(
@@ -68,273 +66,15 @@ class FastHypercubeSimulator:
                 f"unsupported hypercube variant {type(algorithm).__name__}; "
                 "use the generic PacketSimulator"
             )
-        self.algorithm = algorithm
-        self.topology: Hypercube = algorithm.topology
-        self.injection = injection
-        self.central_capacity = central_capacity
-        self.stall_limit = stall_limit
-        self.dynamic_links = isinstance(algorithm, HypercubeAdaptiveRouting)
+        super().__init__(
+            algorithm,
+            injection,
+            central_capacity=central_capacity,
+            stall_limit=stall_limit,
+        )
 
-        n = self.topology.n
-        N = 1 << n
-        self.n = n
-        self.N = N
-        self.mask = N - 1
-        self.nodes = list(range(N))
-
-        # Per node: out-buffer descriptors in the reference engine's
-        # order (dim ascending; down-links carry class A, up-links B
-        # then dyn) and the matching in-buffer tables.
-        self.out_desc: list[list[tuple[int, int, int]]] = []  # (dim, cls, v)
-        for u in range(N):
-            desc = []
-            for dim in range(n):
-                v = u ^ (1 << dim)
-                if (u >> dim) & 1 == 0:
-                    desc.append((dim, _A, v))
-                else:
-                    desc.append((dim, _B, v))
-                    if self.dynamic_links:
-                        desc.append((dim, _DYN, v))
-            self.out_desc.append(desc)
-        self.out_buf: list[list[Message | None]] = [
-            [None] * len(d) for d in self.out_desc
-        ]
-
-        # In-buffer tables: reference order is ascending sender node,
-        # classes in the sender's out order.  in_map[u][slot] gives the
-        # (v, in_slot) fed by out slot `slot` of node u.
-        self.in_desc: list[list[tuple[int, int, int]]] = [[] for _ in range(N)]
-        self.in_buf: list[list[Message | None]] = [[] for _ in range(N)]
-        self.out_to_in: list[list[int]] = [
-            [0] * len(d) for d in self.out_desc
-        ]
-        for u in range(N):
-            for slot, (dim, cls, v) in enumerate(self.out_desc[u]):
-                self.in_desc[v].append((dim, cls, u))
-                self.in_buf[v].append(None)
-                self.out_to_in[u][slot] = len(self.in_desc[v]) - 1
-
-        # Physical-link class groups for the link cycle: per (u, dim),
-        # out slots in class order (A) or (B, dyn).
-        self.link_groups: list[list[list[int]]] = []
-        for u in range(N):
-            groups: list[list[int]] = [[] for _ in range(n)]
-            for slot, (dim, _cls, _v) in enumerate(self.out_desc[u]):
-                groups[dim].append(slot)
-            self.link_groups.append(groups)
-
-        # Queues (plain lists, FIFO by append/remove) and injection slots.
-        self.qA: list[list[Message]] = [[] for _ in range(N)]
-        self.qB: list[list[Message]] = [[] for _ in range(N)]
-        self.inj: list[Message | None] = [None] * N
-
-        self.cycle = 0
-        self.injected_count = 0
-        self.delivered_count = 0
-        self.active = 0
-        self.latency = LatencyStats()
-        self.measure_from = getattr(injection, "warmup", 0)
-        self._last_progress = 0
-
-    # ------------------------------------------------------------------
-    # Injection-model interface (mirrors PacketSimulator)
-    # ------------------------------------------------------------------
-    def injection_queue_free(self, u: int) -> bool:
-        return self.inj[u] is None
-
-    def place_in_injection_queue(self, u: int, msg: Message, cycle: int) -> None:
-        if self.inj[u] is not None:
-            raise RuntimeError(f"injection queue at {u} occupied")
-        msg.injected_cycle = cycle
-        self.inj[u] = msg
-        self.injected_count += 1
-        self.active += 1
-        self._last_progress = cycle
-
-    # ------------------------------------------------------------------
-    # One routing cycle
-    # ------------------------------------------------------------------
-    def step(self) -> None:
-        cycle = self.cycle
-        self.injection.attempt(self, cycle)
-        for u in self.nodes:
-            self._fill_output_buffers(u)
-        for u in self.nodes:
-            self._read_inputs(u)
-        self._link_cycle()
-        self.cycle += 1
-        if (
-            self.active > 0
-            and self.cycle - self._last_progress > self.stall_limit
-        ):
-            raise DeadlockError(
-                f"no progress for {self.stall_limit} cycles "
-                f"(fast engine, {self.algorithm.name})"
-            )
-
-    def _fill_output_buffers(self, u: int) -> None:
-        qA, qB = self.qA[u], self.qB[u]
-        if not qA and not qB:
-            return
-        mask = self.mask
-        out_buf = self.out_buf[u]
-        desc = self.out_desc[u]
-
-        # Entry ranks: (position, kind index) — heads of both queues
-        # come before any second-in-line packet, A before B on ties.
-        entries: list[tuple[int, int, Message]] = []
-        for pos, msg in enumerate(qA):
-            entries.append((pos, 0, msg))
-        for pos, msg in enumerate(qB):
-            entries.append((pos, 1, msg))
-        entries.sort(key=lambda t: (t[0], t[1]))
-
-        moved: set[int] = set()
-        # Buffer-major assignment in descriptor (low-dim first) order.
-        for slot, (dim, cls, _v) in enumerate(desc):
-            if out_buf[slot] is not None:
-                continue
-            bit = 1 << dim
-            for pos, ki, msg in entries:
-                if msg.uid in moved:
-                    continue
-                dst = msg.dst
-                if ki == 0:  # phase A
-                    zeros = ~u & dst & mask
-                    if not zeros:
-                        continue  # internal switch handled below
-                    if cls == _A:
-                        want = bool(zeros & bit)
-                    elif cls == _DYN and self.dynamic_links:
-                        want = bool(u & ~dst & bit)
-                    else:
-                        want = False
-                else:  # phase B: all differing dims, class B
-                    want = cls == _B and bool((u ^ dst) & bit)
-                if not want:
-                    continue
-                (qA if ki == 0 else qB).remove(msg)
-                out_buf[slot] = msg
-                moved.add(msg.uid)
-                self._last_progress = self.cycle
-                break
-
-        # Internal moves: delivery, and the (normally pre-folded)
-        # A -> B phase switch.
-        for pos, ki, msg in entries:
-            if msg.uid in moved:
-                continue
-            if msg.dst == u:
-                (qA if ki == 0 else qB).remove(msg)
-                self._deliver(msg)
-                moved.add(msg.uid)
-            elif ki == 0 and not (~u & msg.dst & mask):
-                if len(qB) < self.central_capacity:
-                    qA.remove(msg)
-                    qB.append(msg)
-                    moved.add(msg.uid)
-                    self._last_progress = self.cycle
-
-    def _entry_kind(self, v: int, msg: Message, sender_cls: int) -> int:
-        """Queue a packet enters at ``v`` (phase fold at entry)."""
-        if sender_cls == _B:
-            return 1
-        if v == msg.dst:
-            return 0  # delivery next cycle; stays in the A queue
-        if ~v & msg.dst & self.mask:
-            return 0
-        return 1  # fold: no zeros left, enter phase B directly
-
-    def _read_inputs(self, v: int) -> None:
-        in_buf = self.in_buf[v]
-        in_desc = self.in_desc[v]
-        qA, qB = self.qA[v], self.qB[v]
-        cap = self.central_capacity
-        total = len(in_buf) + 1  # + the injection buffer
-        start = self.cycle % total
-        for i in range(total):
-            idx = (start + i) % total
-            if idx == len(in_buf):  # the injection buffer
-                msg = self.inj[v]
-                if msg is None:
-                    continue
-                if ~v & msg.dst & self.mask:
-                    target, ki = qA, 0
-                else:
-                    target, ki = qB, 1
-                if len(target) < cap:
-                    target.append(msg)
-                    self.inj[v] = None
-                    self._last_progress = self.cycle
-            else:
-                msg = in_buf[idx]
-                if msg is None:
-                    continue
-                ki = self._entry_kind(v, msg, in_desc[idx][1])
-                target = qA if ki == 0 else qB
-                if len(target) < cap:
-                    in_buf[idx] = None
-                    target.append(msg)
-                    self._last_progress = self.cycle
-
-    def _link_cycle(self) -> None:
-        cycle = self.cycle
-        out_to_in = self.out_to_in
-        for u in self.nodes:
-            out_buf = self.out_buf[u]
-            for dim, slots in enumerate(self.link_groups[u]):
-                if len(slots) > 1 and cycle % 2:
-                    order = (slots[1], slots[0])
-                else:
-                    order = slots
-                for slot in order:
-                    msg = out_buf[slot]
-                    if msg is None:
-                        continue
-                    v = self.out_desc[u][slot][2]
-                    in_slot = out_to_in[u][slot]
-                    if self.in_buf[v][in_slot] is None:
-                        out_buf[slot] = None
-                        self.in_buf[v][in_slot] = msg
-                        self._last_progress = cycle
-                        break  # one packet per link direction
-
-    def _deliver(self, msg: Message) -> None:
-        msg.delivered_cycle = self.cycle
-        self.delivered_count += 1
-        self.active -= 1
-        self._last_progress = self.cycle
-        if msg.injected_cycle >= self.measure_from:
-            self.latency.record(msg.latency)
-
-    # ------------------------------------------------------------------
-    # Runs (mirrors PacketSimulator.run)
-    # ------------------------------------------------------------------
-    def run(self, max_cycles: int | None = None) -> SimulationResult:
-        self.injection.setup(self)
-        limit = max_cycles if max_cycles is not None else 10_000_000
-        while self.cycle < limit:
-            self.step()
-            if self.injection.finished(self, self.cycle - 1):
-                break
-        else:
-            raise RuntimeError(
-                f"simulation exceeded {limit} cycles "
-                f"({self.active} packets still active)"
-            )
-        return SimulationResult(
-            algorithm=self.algorithm.name,
-            topology=self.topology.name,
-            pattern=getattr(self.injection, "pattern", None).name
-            if getattr(self.injection, "pattern", None)
-            else "?",
-            injection=self.injection.name,
-            cycles=self.cycle,
-            injected=self.injected_count,
-            delivered=self.delivered_count,
-            latency=self.latency,
-            attempts=getattr(self.injection, "attempts", 0),
-            successes=getattr(self.injection, "successes", 0),
-            undelivered=self.active,
+    def add_observer(self, observer) -> None:
+        raise EngineCapabilityError(
+            "the fast engine has no observer hook; use engine='reference' "
+            "or engine='compiled' (see docs/ARCHITECTURE.md)"
         )

@@ -46,13 +46,19 @@ from __future__ import annotations
 
 from typing import Any, Hashable, NamedTuple
 
+from ..core.hops import DELIVER_STEP, MOVE_STEP, SELF_STEP
 from ..core.queues import QueueId
 from ..core.routing_function import RoutingAlgorithm
 
-#: Internal-step action codes (see :attr:`CentralPlan.internal`).
-DELIVER_STEP = 0  #: move to the delivery queue
-SELF_STEP = 1  #: degenerate self-hop: state advances in place
-MOVE_STEP = 2  #: move into a sibling central queue (capacity permitting)
+#: Internal-step action codes live in :mod:`repro.core.hops` (shared
+#: with the integer hop kernels); re-exported here for compatibility.
+__all__ = [
+    "DELIVER_STEP",
+    "SELF_STEP",
+    "MOVE_STEP",
+    "CentralPlan",
+    "RoutingPlanCache",
+]
 
 
 class CentralPlan(NamedTuple):
@@ -97,6 +103,27 @@ class RoutingPlanCache:
             + len(self.entry_memo)
             + len(self.inject_memo)
         )
+
+    def memory_bytes(self) -> int:
+        """Shallow footprint estimate of the three memo tables.
+
+        Counts the dicts plus one level of keys and values (the
+        CentralPlan externals dict included) — enough to compare
+        against the integer tables' packed-array footprint
+        (telemetry gauge ``repro_plan_cache_bytes``), without a full
+        recursive traversal of shared QueueId/state objects.
+        """
+        import sys
+
+        total = 0
+        for memo in (self.central_memo, self.entry_memo, self.inject_memo):
+            total += sys.getsizeof(memo)
+            for key, value in memo.items():
+                total += sys.getsizeof(key) + sys.getsizeof(value)
+                if isinstance(value, CentralPlan):
+                    total += sys.getsizeof(value.external)
+                    total += sys.getsizeof(value.internal)
+        return total
 
     # ------------------------------------------------------------------
     # Central-queue plans

@@ -41,6 +41,7 @@ established by ``tests/test_sim_vector.py``.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Hashable
 
 import numpy as np
@@ -50,6 +51,10 @@ from ..core.routing_function import RoutingAlgorithm
 from .plans import DELIVER_STEP, SELF_STEP, RoutingPlanCache
 
 __all__ = ["EngineCapabilityError", "RoutingTables"]
+
+#: Ceiling on the dense ``(queue, dst)`` row-id index (cells); larger
+#: networks fall back to a dict-keyed row-id map.
+_DENSE_ROWID_CELLS = 16_777_216
 
 
 class EngineCapabilityError(TypeError):
@@ -72,7 +77,8 @@ class RoutingTables:
     simulators.
     """
 
-    def __init__(self, algorithm: RoutingAlgorithm):
+    def __init__(self, algorithm: RoutingAlgorithm, use_kernel: bool = True):
+        t_start = time.perf_counter()
         self.algorithm = algorithm
         self.plans = RoutingPlanCache(algorithm)
         topo = algorithm.topology
@@ -161,6 +167,19 @@ class RoutingTables:
         self._central: dict[tuple[int, int, int], tuple] = {}
         self._entry: dict[tuple[int, int, int], tuple[int, int]] = {}
         self._inject: dict[tuple[int, int, int], tuple] = {}
+        self._init_rows()
+
+        # ---- compiled hop kernel (optional fast path) ------------------
+        #: The algorithm's integer hop kernel, or ``None`` (plan-cache
+        #: translation only).  See :mod:`repro.core.hops`.
+        self.kernel = None
+        if use_kernel:
+            hook = getattr(algorithm, "compile_hops", None)
+            if hook is not None:
+                self.kernel = hook(self)
+        #: Wall-clock seconds to build the structure + compile the
+        #: kernel (telemetry gauge ``repro_tables_compile_seconds``).
+        self.compile_seconds = time.perf_counter() - t_start
 
     # ------------------------------------------------------------------
     # Interning
@@ -187,6 +206,195 @@ class RoutingTables:
         return len(self._central) + len(self._entry) + len(self._inject)
 
     # ------------------------------------------------------------------
+    # Packed row ids (the batched engine's central-row representation)
+    # ------------------------------------------------------------------
+    def _init_rows(self) -> None:
+        """(Re)initialize the packed central-row arrays + row-id index.
+
+        A *row id* (rid) names one built central row; the candidate
+        data lives in parallel ``(rid, candidate)`` numpy arrays so the
+        batched fill phase gathers whole batches of rows without
+        touching Python objects.  ``row_entq``/``row_entst`` hold the
+        *entry-resolved* landing queue/state per candidate, so the read
+        phase needs no further lookups.
+        """
+        cap = 256
+        width = 4
+        self._row_n = 0
+        self.row_slots = np.full((cap, width), self.n_slots, dtype=np.int64)
+        self.row_queues = np.full((cap, width), -1, dtype=np.int64)
+        self.row_states = np.zeros((cap, width), dtype=np.int64)
+        self.row_dyn = np.zeros((cap, width), dtype=np.int64)
+        self.row_entq = np.full((cap, width), -1, dtype=np.int64)
+        self.row_entst = np.zeros((cap, width), dtype=np.int64)
+        self.row_hasint = np.zeros(cap, dtype=np.int64)
+        #: Internal steps per rid (python tuples; only walked on stalls).
+        self.row_internal: list[tuple] = []
+        cells = self.n_queues * len(self.nodes)
+        if 0 < cells <= _DENSE_ROWID_CELLS:
+            self._rowid_dense: np.ndarray | None = np.full(
+                (self.n_queues, len(self.nodes), 1), -1, dtype=np.int64
+            )
+            self._rowid_map: dict[tuple[int, int, int], int] | None = None
+        else:
+            self._rowid_dense = None
+            self._rowid_map = {}
+
+    @property
+    def has_dense_rowids(self) -> bool:
+        """Whether row ids are indexed by a dense numpy gather table."""
+        return self._rowid_dense is not None
+
+    @property
+    def rows_packed(self) -> int:
+        """Number of central rows packed into the rid arrays."""
+        return self._row_n
+
+    def _grow_rows(self, width: int) -> None:
+        cap, w = self.row_slots.shape
+        new_cap = cap if self._row_n < cap else cap * 2
+        new_w = w
+        while new_w < width:
+            new_w *= 2
+        pads = {
+            "row_slots": self.n_slots,
+            "row_queues": -1,
+            "row_states": 0,
+            "row_dyn": 0,
+            "row_entq": -1,
+            "row_entst": 0,
+        }
+        for name, pad in pads.items():
+            old = getattr(self, name)
+            arr = np.full((new_cap, new_w), pad, dtype=np.int64)
+            arr[:cap, :w] = old
+            setattr(self, name, arr)
+        if new_cap != cap:
+            hasint = np.zeros(new_cap, dtype=np.int64)
+            hasint[:cap] = self.row_hasint
+            self.row_hasint = hasint
+
+    def _grow_rowid_states(self, sid: int) -> None:
+        tab = self._rowid_dense
+        depth = max(sid + 1, len(self.states), tab.shape[2] * 2)
+        new = np.full((tab.shape[0], tab.shape[1], depth), -1, dtype=np.int64)
+        new[:, :, : tab.shape[2]] = tab
+        self._rowid_dense = new
+
+    def _pack_row(self, dst_i: int, row: tuple) -> int:
+        slots, queues, states, dyn, internal = row
+        nc = len(slots)
+        if self._row_n >= self.row_slots.shape[0] or nc > self.row_slots.shape[1]:
+            self._grow_rows(nc)
+        rid = self._row_n
+        self._row_n = rid + 1
+        if nc:
+            self.row_slots[rid, :nc] = slots
+            self.row_queues[rid, :nc] = queues
+            self.row_states[rid, :nc] = states
+            self.row_dyn[rid, :nc] = dyn
+            for j in range(nc):
+                eq, est = self.entry_row(queues[j], dst_i, states[j])
+                self.row_entq[rid, j] = eq
+                self.row_entst[rid, j] = est
+        self.row_hasint[rid] = 1 if internal else 0
+        self.row_internal.append(internal)
+        return rid
+
+    def central_rid(self, qid: int, dst_i: int, sid: int) -> int:
+        """Packed row id for ``(qid, dst_i, sid)`` (built on first use)."""
+        tab = self._rowid_dense
+        if tab is not None:
+            if sid >= tab.shape[2]:
+                self._grow_rowid_states(sid)
+                tab = self._rowid_dense
+            rid = int(tab[qid, dst_i, sid])
+            if rid >= 0:
+                return rid
+        else:
+            rid = self._rowid_map.get((qid, dst_i, sid), -1)
+            if rid >= 0:
+                return rid
+        rid = self._pack_row(dst_i, self.central_row(qid, dst_i, sid))
+        if self._rowid_dense is not None:
+            self._rowid_dense[qid, dst_i, sid] = rid
+        else:
+            self._rowid_map[(qid, dst_i, sid)] = rid
+        return rid
+
+    def central_rids(
+        self, qids: np.ndarray, dsts: np.ndarray, sids: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`central_rid`.
+
+        One numpy gather + a python miss loop in dense row-id mode; an
+        all-python loop in dict mode (networks past the dense ceiling),
+        where the candidate-selection math downstream still vectorizes.
+        """
+        tab = self._rowid_dense
+        if tab is None:
+            get = self._rowid_map.get
+            out = np.empty(len(qids), dtype=np.int64)
+            for i in range(len(qids)):
+                key = (int(qids[i]), int(dsts[i]), int(sids[i]))
+                rid = get(key, -1)
+                if rid < 0:
+                    rid = self.central_rid(*key)
+                out[i] = rid
+            return out
+        if len(self.states) > tab.shape[2]:
+            self._grow_rowid_states(len(self.states) - 1)
+            tab = self._rowid_dense
+        rids = tab[qids, dsts, sids]
+        misses = np.flatnonzero(rids < 0)
+        if misses.size:
+            for i in misses.tolist():
+                rids[i] = self.central_rid(
+                    int(qids[i]), int(dsts[i]), int(sids[i])
+                )
+        return rids
+
+    def clear_rows(self) -> None:
+        """Drop every memoized/packed row (structure + kernel stay).
+
+        Used by the fault adapter's epoch-gated kernel: rows depend on
+        the live fault set, so an epoch flip invalidates them all.
+        Engines must not hold row references across a call (the vector
+        engine never runs fault epochs; the analyzer rebuilds per
+        epoch).
+        """
+        self._central.clear()
+        self._entry.clear()
+        self._inject.clear()
+        self.plans.central_memo.clear()
+        self.plans.entry_memo.clear()
+        self.plans.inject_memo.clear()
+        self._init_rows()
+
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes of rows + row index (telemetry).
+
+        Numpy arrays are counted exactly; the per-entry cost of the
+        three memo dicts (key tuple + value tuples) is estimated at a
+        flat 200 bytes.
+        """
+        total = (
+            self.row_slots.nbytes
+            + self.row_queues.nbytes
+            + self.row_states.nbytes
+            + self.row_dyn.nbytes
+            + self.row_entq.nbytes
+            + self.row_entst.nbytes
+            + self.row_hasint.nbytes
+        )
+        if self._rowid_dense is not None:
+            total += self._rowid_dense.nbytes
+        else:
+            total += 100 * len(self._rowid_map)
+        total += 200 * self.size
+        return total
+
+    # ------------------------------------------------------------------
     # Row tables
     # ------------------------------------------------------------------
     def central_row(self, qid: int, dst_i: int, sid: int) -> tuple:
@@ -206,6 +414,10 @@ class RoutingTables:
         return row
 
     def _build_central(self, qid: int, dst_i: int, sid: int) -> tuple:
+        if self.kernel is not None:
+            row = self.kernel.central_row(qid, dst_i, sid)
+            if row is not None:
+                return row
         plan = self.plans.central_plan(
             self.queue_objs[qid], self.nodes[dst_i], self.states[sid]
         )
@@ -252,13 +464,17 @@ class RoutingTables:
         key = (qid, dst_i, sid)
         row = self._entry.get(key)
         if row is None:
-            q2, st = self.plans.entry(
-                self.queue_objs[qid], self.nodes[dst_i], self.states[sid]
-            )
-            row = self._entry[key] = (
-                self.qid_of[(self.nid[q2.node], q2.kind)],
-                self.state_id(st),
-            )
+            if self.kernel is not None:
+                row = self.kernel.entry_row(qid, dst_i, sid)
+            if row is None:
+                q2, st = self.plans.entry(
+                    self.queue_objs[qid], self.nodes[dst_i], self.states[sid]
+                )
+                row = (
+                    self.qid_of[(self.nid[q2.node], q2.kind)],
+                    self.state_id(st),
+                )
+            self._entry[key] = row
         return row
 
     def injection_row(self, ui: int, dst_i: int, sid: int) -> tuple:
@@ -267,14 +483,18 @@ class RoutingTables:
         key = (ui, dst_i, sid)
         row = self._inject.get(key)
         if row is None:
-            plan = self.plans.injection_plan(
-                self.nodes[ui], self.nodes[dst_i], self.states[sid]
-            )
-            row = self._inject[key] = tuple(
-                (
-                    self.qid_of[(self.nid[q2.node], q2.kind)],
-                    self.state_id(st),
+            if self.kernel is not None:
+                row = self.kernel.injection_row(ui, dst_i, sid)
+            if row is None:
+                plan = self.plans.injection_plan(
+                    self.nodes[ui], self.nodes[dst_i], self.states[sid]
                 )
-                for _kind, q2, st in plan
-            )
+                row = tuple(
+                    (
+                        self.qid_of[(self.nid[q2.node], q2.kind)],
+                        self.state_id(st),
+                    )
+                    for _kind, q2, st in plan
+                )
+            self._inject[key] = row
         return row

@@ -2,26 +2,42 @@
 
 :class:`VectorSimulator` executes the paper's Section-7.1 routing cycle
 over the integer tables of :class:`~repro.sim.tables.RoutingTables`:
-messages live in parallel int arrays (destination, state id, nominal
-target queue, injection cycle), link buffers are numpy int arrays
-holding message indices, and the link cycle runs as batched numpy
-operations over whole class-groups of links at once.  The node cycle
-only visits nodes that can act — nodes with queued messages in the
-fill phase, nodes with occupied input/injection buffers in the read
-phase — so an idle region of a 4096-node network costs (almost)
-nothing, where the generic engines pay per node per cycle.
+messages live in parallel int arrays (destination, state id, resolved
+entry queue, injection cycle), central queues are rows of one int
+matrix, link buffers are numpy int arrays holding message indices, and
+all three phases of the cycle have batched numpy forms:
+
+* the **fill phase** sweeps all busy nodes at once, one
+  ``(position, queue-kind)`` step at a time: a single
+  :meth:`~repro.sim.tables.RoutingTables.central_rids` gather maps
+  every node's candidate message to its packed hop row, and a
+  per-row argmax over output-buffer freeness performs the greedy
+  matching for the whole network in a handful of array ops;
+* the **read phase** ranks every occupied input/injection buffer with
+  one ``lexsort`` and admits per-queue prefixes against capacity;
+* the **link cycle** moves whole class-groups of links per operation.
+
+Sparse cycles dispatch to per-node python loops instead (the batch
+constant does not pay off under a few dozen actors); both paths
+replicate the reference engine exactly, so the hybrid switch is
+invisible in the output.
 
 **Identity guarantees.**  Packet-for-packet identical to
 :class:`~repro.sim.engine.PacketSimulator` at equal seeds on every
 topology: same latencies, cycle counts, injection statistics, and a
 byte-identical canonical telemetry event log
-(``tests/test_sim_vector.py``).  The fill phase replays the compiled
-engine's message-major greedy matching (provably equal to the
-reference engine's buffer-major loop under aligned preference orders),
-the read phase replays the rotating input fairness through the slot-id
-order that equals ``in_keys``, and the link cycle's class rotation is
-``cycle % k`` per ``k``-class link — the same ``rotated`` the
-reference engine uses.
+(``tests/test_sim_vector.py``, ``tests/test_sim_kernels.py``).  The
+fill phase replays the compiled engine's message-major greedy matching
+(provably equal to the reference engine's buffer-major loop under
+aligned preference orders) — the batch form runs the same
+(position, kind) steps across nodes, which commute because queues,
+output buffers, and internal moves never cross nodes.  The read phase
+replays the rotating input fairness: the batched rank
+``(source position - cycle) mod (inputs + 1)`` equals the reference
+rotation, and per-queue prefix admission equals the sequential loop
+because rejected reads have no side effects.  The link cycle's class
+rotation is ``cycle % k`` per ``k``-class link — the same ``rotated``
+the reference engine uses.
 
 **Limitations** (each raises a descriptive
 :class:`~repro.sim.tables.EngineCapabilityError` — the engine never
@@ -62,6 +78,9 @@ from .plans import DELIVER_STEP, SELF_STEP
 from .tables import EngineCapabilityError, RoutingTables
 
 __all__ = ["VectorSimulator"]
+
+#: Rank larger than any rotating-policy slot rank (masks occupied slots).
+_NO_RANK = 1 << 40
 
 
 class VectorSimulator:
@@ -116,36 +135,76 @@ class VectorSimulator:
         self._slot_pos = t.slot_in_pos
         self._slot_src = t.slot_src
         self._slot_dst = t.slot_dst
+        # Numpy mirrors of the per-node/per-slot tables for the batch
+        # paths (the layout keeps them as python lists for the sparse
+        # loops).
+        self._n_in_a = np.asarray(self._n_in, dtype=np.int64)
+        self._slot_pos_a = np.asarray(t.slot_in_pos, dtype=np.int64)
+        self._slot_dst_a = np.asarray(t.slot_dst, dtype=np.int64)
+        self._out_start_a = np.asarray(t.node_out_start, dtype=np.int64)
+        self._out_count_a = np.asarray(t.node_out_count, dtype=np.int64)
         # Per class-count k: contiguous per-class slot columns, so the
         # link cycle gathers without re-slicing each cycle.
         self._link_cols: dict[int, list[np.ndarray]] = {
             k: [np.ascontiguousarray(mat[:, j]) for j in range(k)]
             for k, mat in t.link_groups.items()
         }
+        # Homogeneous layouts (every node has the same queue kinds, so
+        # qid = node * nk + kind) unlock the batched fill sweep.
+        kind_counts = {len(qs) for qs in t.node_qids}
+        self._uniform_nk = (
+            kind_counts.pop() if len(kind_counts) == 1 else 0
+        )
 
         # ---- dynamic state ---------------------------------------------
-        #: Central queues: one python list of message indices per qid.
-        self._q: list[list[int]] = [[] for _ in range(t.n_queues)]
-        #: Queued messages per node + the set of nodes with any.
-        self._load: list[int] = [0] * len(self.nodes)
-        self._busy: set[int] = set()
-        #: Injection buffers (message index or -1) + occupied-node set.
-        self._inj: list[int] = [-1] * len(self.nodes)
-        self._inj_busy: set[int] = set()
-        #: Link buffers as message-index arrays (-1 = empty).
-        self._out = np.full(t.n_slots, -1, dtype=np.int64)
+        # Central queues as one int matrix: row qid holds message
+        # indices, -1-padded.  `_qlen` is the physical row length
+        # (including in-fill tombstones), `_qcount` the live count;
+        # rows are compacted (qlen == qcount, entries contiguous from
+        # column 0) between phases.  Width 2*cap+2 covers the worst
+        # mid-fill case (cap live + cap same-cycle MOVE appends).
+        n_nodes = len(self.nodes)
+        width = 2 * central_capacity + 2
+        self._qbuf = np.full((t.n_queues, width), -1, dtype=np.int64)
+        self._qlen = np.zeros(t.n_queues, dtype=np.int64)
+        self._qcount = np.zeros(t.n_queues, dtype=np.int64)
+        #: Queued messages per node (busy = nonzero entries).
+        self._load = np.zeros(n_nodes, dtype=np.int64)
+        #: Injection buffers (message index or -1).
+        self._inj = np.full(n_nodes, -1, dtype=np.int64)
+        #: Link buffers as message-index arrays (-1 = empty).  The out
+        #: array carries one extra occupied sentinel slot that packed
+        #: hop rows use as padding, so padded candidates never match.
+        self._out = np.full(t.n_slots + 1, -1, dtype=np.int64)
+        self._out[t.n_slots] = -2
         self._in = np.full(t.n_slots, -1, dtype=np.int64)
 
         # Parallel per-message storage (index = registration order).
+        # Numpy columns for the batch paths; python lists where only
+        # the python paths touch them.
+        self._mn = 0
+        cap0 = 1024
+        self._mdst = np.empty(cap0, dtype=np.int64)
+        self._mstate = np.empty(cap0, dtype=np.int64)
+        self._minj = np.empty(cap0, dtype=np.int64)
+        # Entry queue/state the message will request on arrival —
+        # resolved at hop time (external moves) or injection time.
+        self._ment_q = np.empty(cap0, dtype=np.int64)
+        self._ment_st = np.empty(cap0, dtype=np.int64)
         self._mobj: list[Message] = []
         self._muid: list[int] = []
-        self._mdst: list[int] = []
-        self._mstate: list[int] = []
-        self._mtarget: list[int] = []
-        self._minj: list[int] = []
         self._msig_q: list[int] = []
         self._msig_st: list[int] = []
         self._mrow: list[tuple | None] = []
+        # Set once an injection row is empty or non-singleton; the
+        # batched read cannot replay the multi-target retry loop, so
+        # reads stay on the sparse path from then on.
+        self._inj_multi = False
+
+        #: Hybrid dispatch floors: batch phases win once this many
+        #: nodes (fill) / buffered messages (read) act in one cycle.
+        self.batch_fill_min = 24
+        self.batch_read_min = 48
 
         # Bookkeeping (same contract as the reference engine).
         self.cycle = 0
@@ -192,10 +251,28 @@ class VectorSimulator:
         )
 
     # ------------------------------------------------------------------
+    # Growable storage
+    # ------------------------------------------------------------------
+    def _grow_qbuf(self, need: int) -> None:
+        old = self._qbuf
+        width = max(old.shape[1] * 2, need + 1)
+        buf = np.full((old.shape[0], width), -1, dtype=np.int64)
+        buf[:, : old.shape[1]] = old
+        self._qbuf = buf
+
+    def _grow_msgs(self) -> None:
+        cap = self._mdst.size * 2
+        for name in ("_mdst", "_mstate", "_minj", "_ment_q", "_ment_st"):
+            col = getattr(self, name)
+            grown = np.empty(cap, dtype=np.int64)
+            grown[: col.size] = col
+            setattr(self, name, grown)
+
+    # ------------------------------------------------------------------
     # Injection-model interface
     # ------------------------------------------------------------------
     def injection_queue_free(self, u: Hashable) -> bool:
-        return self._inj[self._nid[u]] == -1
+        return bool(self._inj[self._nid[u]] == -1)
 
     def place_in_injection_queue(
         self, u: Hashable, msg: Message, cycle: int
@@ -204,18 +281,28 @@ class VectorSimulator:
         if self._inj[ui] != -1:
             raise RuntimeError(f"injection queue at {u} occupied")
         msg.injected_cycle = cycle
-        mi = len(self._muid)
+        mi = self._mn
+        if mi == self._mdst.size:
+            self._grow_msgs()
         self._mobj.append(msg)
         self._muid.append(msg.uid)
-        self._mdst.append(self._nid[msg.dst])
-        self._mstate.append(self.tables.state_id(msg.state))
-        self._mtarget.append(-1)
-        self._minj.append(cycle)
+        dst_i = self._nid[msg.dst]
+        sid = self.tables.state_id(msg.state)
+        self._mdst[mi] = dst_i
+        self._mstate[mi] = sid
+        self._minj[mi] = cycle
         self._msig_q.append(-1)
         self._msig_st.append(-1)
         self._mrow.append(None)
+        row = self.tables.injection_row(ui, dst_i, sid)
+        if len(row) == 1:
+            self._ment_q[mi], self._ment_st[mi] = row[0]
+        else:
+            self._ment_q[mi] = -1
+            self._ment_st[mi] = 0
+            self._inj_multi = True
+        self._mn = mi + 1
         self._inj[ui] = mi
-        self._inj_busy.add(ui)
         self.injected_count += 1
         self.active += 1
         self._last_progress = cycle
@@ -234,9 +321,13 @@ class VectorSimulator:
             if cycle % probe.occupancy_every == 0:
                 self._probe_sample(probe)
         self.injection.attempt(self, cycle)
-        if self._busy:
-            for ui in list(self._busy):
-                self._fill_node(ui, cycle)
+        busy = np.flatnonzero(self._load)
+        if busy.size:
+            if self._uniform_nk and busy.size >= self.batch_fill_min:
+                self._fill_batch(busy, cycle)
+            else:
+                for ui in busy.tolist():
+                    self._fill_node(ui, cycle)
         self._read_inputs(cycle)
         self._link_cycle(cycle)
         if self.collect_occupancy and cycle % self.occupancy_sample_every == 0:
@@ -253,17 +344,190 @@ class VectorSimulator:
             )
 
     # -- node cycle, part 1: queues -> output buffers + internal moves ----
+    def _fill_batch(self, busy: np.ndarray, cycle: int) -> None:
+        """All busy nodes at once, one (position, kind) step at a time.
+
+        Each step touches at most one message per node, and nodes are
+        independent in the fill phase (queues, output buffers, and
+        internal moves never cross nodes), so running the per-node
+        steps in lockstep across the network reproduces each node's
+        sequential message-major sweep exactly.
+        """
+        t = self.tables
+        nk = self._uniform_nk
+        qbuf = self._qbuf
+        qlen = self._qlen
+        qcount = self._qcount
+        out = self._out
+        load = self._load
+        mstate = self._mstate
+        mdst = self._mdst
+        ment_q = self._ment_q
+        ment_st = self._ment_st
+        central_rids = t.central_rids
+        recording = self._recording
+        rotating = self.policy == "rotating"
+
+        qbase = busy * nk
+        lens = qlen[
+            (qbase[:, None] + np.arange(nk)).ravel()
+        ].reshape(-1, nk)
+        maxlen = int(lens.max())
+        positions = (
+            range(maxlen)
+            if self.service == "fifo"
+            else range(maxlen - 1, -1, -1)
+        )
+        pending: list[tuple[int, int, int, int]] = []
+        progressed = False
+        for pos in positions:
+            for r in range(nk):
+                sel = np.flatnonzero(lens[:, r] > pos)
+                if not sel.size:
+                    continue
+                q_sel = qbase[sel] + r
+                mis = qbuf[q_sel, pos]
+                rids = central_rids(q_sel, mdst[mis], mstate[mis])
+                # Re-fetch the packed arrays each step: a memo miss
+                # inside central_rids can grow (reallocate) them.
+                row_slots = t.row_slots
+                row_queues = t.row_queues
+                row_states = t.row_states
+                row_dyn = t.row_dyn
+                row_entq = t.row_entq
+                row_entst = t.row_entst
+                row_hasint = t.row_hasint
+                cand = row_slots[rids]
+                free = out[cand] == -1
+                got = free.any(axis=1)
+                if rotating:
+                    nodes_sel = busy[sel]
+                    n_keys = np.maximum(self._out_count_a[nodes_sel], 1)
+                    rank = (
+                        cand - self._out_start_a[nodes_sel][:, None] - cycle
+                    ) % n_keys[:, None]
+                    rank[~free] = _NO_RANK
+                    pick = np.argmin(rank, axis=1)
+                else:
+                    # "paper": slot-ascending, first free wins (rows
+                    # are slot-sorted, padding sorts last).
+                    pick = np.argmax(free, axis=1)
+                gi = np.flatnonzero(got)
+                if gi.size:
+                    jg = pick[gi]
+                    rg = rids[gi]
+                    mg = mis[gi]
+                    sg = cand[gi, jg]
+                    out[sg] = mg
+                    qg = q_sel[gi]
+                    qbuf[qg, pos] = -1  # tombstone; compacted below
+                    qcount[qg] -= 1
+                    load[busy[sel[gi]]] -= 1
+                    mstate[mg] = row_states[rg, jg]
+                    ment_q[mg] = row_entq[rg, jg]
+                    ment_st[mg] = row_entst[rg, jg]
+                    progressed = True
+                    if recording:
+                        ev = np.empty((gi.size, 5), dtype=np.int64)
+                        ev[:, 0] = cycle
+                        ev[:, 1] = mg
+                        ev[:, 2] = sg
+                        ev[:, 3] = row_dyn[rg, jg]
+                        ev[:, 4] = row_queues[rg, jg]
+                        self._ev_hop.extend(ev.ravel().tolist())
+                blocked = np.flatnonzero(~got & (row_hasint[rids] != 0))
+                if blocked.size:
+                    qp = q_sel[blocked]
+                    mp = mis[blocked]
+                    rp = rids[blocked]
+                    for i in range(blocked.size):
+                        pending.append(
+                            (int(qp[i]), pos, int(mp[i]), int(rp[i]))
+                        )
+        if progressed:
+            self._last_progress = cycle
+        if pending:
+            self._run_internal(pending, cycle)
+        self._compact()
+
+    def _run_internal(
+        self, pending: list[tuple[int, int, int, int]], cycle: int
+    ) -> None:
+        """Internal moves for the batch fill, in sweep order.
+
+        Per node this is the same (position, kind)-ordered pending list
+        the sparse path builds, and internal moves never cross nodes,
+        so the global order is immaterial.
+        """
+        t = self.tables
+        cap = self.central_capacity
+        qlen = self._qlen
+        qcount = self._qcount
+        mstate = self._mstate
+        queue_node = t.queue_node
+        row_internal = t.row_internal
+        recording = self._recording
+        for qid, pos, mi, rid in pending:
+            for action, tq, tst in row_internal[rid]:
+                if action == DELIVER_STEP:
+                    self._qbuf[qid, pos] = -1
+                    qcount[qid] -= 1
+                    self._load[queue_node[qid]] -= 1
+                    self._deliver(mi, cycle)
+                    break
+                if action == SELF_STEP:
+                    mstate[mi] = tst
+                    self._last_progress = cycle
+                    if recording:
+                        self._ev_enqueue.extend((cycle, mi, tq))
+                    break
+                # MOVE_STEP: sibling central queue, capacity permitting.
+                if qcount[tq] < cap:
+                    self._qbuf[qid, pos] = -1
+                    qcount[qid] -= 1
+                    end = int(qlen[tq])
+                    if end >= self._qbuf.shape[1]:
+                        self._grow_qbuf(end)
+                    self._qbuf[tq, end] = mi
+                    qlen[tq] = end + 1
+                    qcount[tq] += 1
+                    mstate[mi] = tst
+                    self._last_progress = cycle
+                    if recording:
+                        self._ev_enqueue.extend((cycle, mi, tq))
+                    break
+
+    def _compact(self) -> None:
+        """Squeeze in-fill tombstones out of dirty queue rows.
+
+        Stable partition: survivors keep their order, same-cycle MOVE
+        appends stay behind them — the order the sparse path produces.
+        """
+        qlen = self._qlen
+        qcount = self._qcount
+        dirty = np.flatnonzero(qlen != qcount)
+        if dirty.size:
+            rows = self._qbuf[dirty]
+            order = np.argsort(rows == -1, axis=1, kind="stable")
+            self._qbuf[dirty] = np.take_along_axis(rows, order, axis=1)
+            qlen[dirty] = qcount[dirty]
+
     def _fill_node(self, ui: int, cycle: int) -> None:
         t = self.tables
-        Q = self._q
+        qbuf = self._qbuf
+        qlen = self._qlen
+        qcount = self._qcount
+        qlists: dict[int, list[int]] = {}
         active = []
         maxlen = 0
         for qid in t.node_qids[ui]:
-            q = Q[qid]
-            if q:
+            length = int(qlen[qid])
+            if length:
+                q = qbuf[qid, :length].tolist()
+                qlists[qid] = q
                 active.append((qid, q))
-                if len(q) > maxlen:
-                    maxlen = len(q)
+                if length > maxlen:
+                    maxlen = length
 
         out = self._out
         base = t.node_out_start[ui]
@@ -279,8 +543,10 @@ class VectorSimulator:
         msig_st = self._msig_st
         mrow = self._mrow
         central_row = t.central_row
+        entry_row = t.entry_row
         recording = self._recording
         removed: dict[int, list[int]] = {}
+        appended: set[int] = set()
         delta: dict[int, int] = {}
         pending: list[tuple] = []
         load_delta = 0
@@ -298,11 +564,11 @@ class VectorSimulator:
                 if pos >= len(q):
                     continue
                 mi = q[pos]
-                st = mstate[mi]
+                st = int(mstate[mi])
                 if msig_q[mi] == qid and msig_st[mi] == st:
                     row = mrow[mi]
                 else:
-                    row = central_row(qid, mdst[mi], st)
+                    row = central_row(qid, int(mdst[mi]), st)
                     msig_q[mi] = qid
                     msig_st[mi] = st
                     mrow[mi] = row
@@ -315,11 +581,11 @@ class VectorSimulator:
                         best = n_keys
                         for j, s in enumerate(ext_slots):
                             if out[s] == -1:
-                                r = s - base - start
-                                if r < 0:
-                                    r += n_keys
-                                if r < best:
-                                    best = r
+                                rnk = s - base - start
+                                if rnk < 0:
+                                    rnk += n_keys
+                                if rnk < best:
+                                    best = rnk
                                     chosen = j
                     else:
                         # "paper": slot-ascending, first free wins.
@@ -332,9 +598,12 @@ class VectorSimulator:
                     removed.setdefault(qid, []).append(pos)
                     delta[qid] = delta.get(qid, 0) - 1
                     load_delta -= 1
-                    mstate[mi] = row[2][chosen]
+                    nst = row[2][chosen]
+                    mstate[mi] = nst
                     tq = row[1][chosen]
-                    self._mtarget[mi] = tq
+                    eq, est = entry_row(tq, int(mdst[mi]), nst)
+                    self._ment_q[mi] = eq
+                    self._ment_st[mi] = est
                     out[s] = mi
                     self._last_progress = cycle
                     if recording:
@@ -361,51 +630,155 @@ class VectorSimulator:
                         self._ev_enqueue.extend((cycle, mi, tq))
                     break
                 # MOVE_STEP: sibling central queue, capacity permitting.
-                if len(Q[tq]) + delta.get(tq, 0) < cap:
+                tlist = qlists.setdefault(tq, [])
+                if len(tlist) + delta.get(tq, 0) < cap:
                     removed.setdefault(qid, []).append(pos)
                     delta[qid] = delta.get(qid, 0) - 1
                     mstate[mi] = tst
-                    Q[tq].append(mi)
+                    tlist.append(mi)
+                    appended.add(tq)
                     self._last_progress = cycle
                     if recording:
                         self._ev_enqueue.extend((cycle, mi, tq))
                     break
 
-        # One compaction per touched queue (deferred pops).
-        for qid, poplist in removed.items():
-            q = Q[qid]
-            drop = set(poplist)
-            Q[qid] = [m for i, m in enumerate(q) if i not in drop]
+        # One write-back per touched queue (deferred pops, compacted).
+        if removed or appended:
+            for qid in set(removed) | appended:
+                q = qlists[qid]
+                drop = removed.get(qid)
+                if drop:
+                    keep = set(drop)
+                    q = [m for i, m in enumerate(q) if i not in keep]
+                length = len(q)
+                old = int(qlen[qid])
+                if length > qbuf.shape[1]:
+                    self._grow_qbuf(length)
+                    qbuf = self._qbuf
+                if length:
+                    qbuf[qid, :length] = q
+                if length < old:
+                    qbuf[qid, length:old] = -1
+                qlen[qid] = length
+                qcount[qid] = length
         if load_delta:
-            load = self._load[ui] + load_delta
-            self._load[ui] = load
-            if not load:
-                self._busy.discard(ui)
+            self._load[ui] += load_delta
 
     # -- node cycle, part 2: input + injection buffers -> queues ----------
     def _read_inputs(self, cycle: int) -> None:
-        in_buf = self._in
-        arrivals = np.flatnonzero(in_buf != -1)
+        arrivals = np.flatnonzero(self._in != -1)
+        inj_nodes = np.flatnonzero(self._inj != -1)
+        count = arrivals.size + inj_nodes.size
+        if not count:
+            return
+        if count >= self.batch_read_min and not self._inj_multi:
+            self._read_batch(arrivals, inj_nodes, cycle)
+        else:
+            self._read_sparse(arrivals, inj_nodes, cycle)
+
+    def _read_batch(
+        self, arrivals: np.ndarray, inj_nodes: np.ndarray, cycle: int
+    ) -> None:
+        """All occupied input/injection buffers in one admission pass.
+
+        Rank ``(source position - cycle) mod (inputs + 1)`` is the
+        reference engine's rotated read order (the injection buffer
+        sits at position ``inputs``).  Sorting by (node, rank) and
+        admitting per-target-queue prefixes against free capacity
+        equals the sequential loop: a rejected read has no side
+        effects, and an admission only consumes capacity in its own
+        queue.
+        """
+        nodes_parts = []
+        rank_parts = []
+        mi_parts = []
+        src_parts = []
+        if arrivals.size:
+            a_nodes = self._slot_dst_a[arrivals]
+            a_total = self._n_in_a[a_nodes] + 1
+            nodes_parts.append(a_nodes)
+            rank_parts.append(
+                (self._slot_pos_a[arrivals] - cycle) % a_total
+            )
+            mi_parts.append(self._in[arrivals])
+            src_parts.append(arrivals)
+        if inj_nodes.size:
+            i_total = self._n_in_a[inj_nodes] + 1
+            nodes_parts.append(inj_nodes)
+            rank_parts.append((i_total - 1 - cycle) % i_total)
+            mi_parts.append(self._inj[inj_nodes])
+            src_parts.append(np.full(inj_nodes.size, -1, dtype=np.int64))
+        nodes_all = np.concatenate(nodes_parts)
+        rank_all = np.concatenate(rank_parts)
+        mi_all = np.concatenate(mi_parts)
+        src_all = np.concatenate(src_parts)
+
+        order = np.lexsort((rank_all, nodes_all))
+        mi_o = mi_all[order]
+        tq_o = self._ment_q[mi_o]
+        group = np.argsort(tq_o, kind="stable")
+        tq_s = tq_o[group]
+        mi_s = mi_o[group]
+        src_s = src_all[order][group]
+        node_s = nodes_all[order][group]
+        total = tq_s.size
+        starts = np.flatnonzero(np.r_[True, tq_s[1:] != tq_s[:-1]])
+        counts = np.diff(np.r_[starts, total])
+        seq = np.arange(total) - np.repeat(starts, counts)
+        admit = np.flatnonzero(
+            seq < self.central_capacity - self._qcount[tq_s]
+        )
+        if not admit.size:
+            return
+        tq_a = tq_s[admit]
+        mi_a = mi_s[admit]
+        src_a = src_s[admit]
+        node_a = node_s[admit]
+        pos = self._qlen[tq_a] + seq[admit]
+        high = int(pos.max())
+        if high >= self._qbuf.shape[1]:
+            self._grow_qbuf(high)
+        self._qbuf[tq_a, pos] = mi_a
+        np.add.at(self._qlen, tq_a, 1)
+        np.add.at(self._qcount, tq_a, 1)
+        np.add.at(self._load, node_a, 1)
+        self._mstate[mi_a] = self._ment_st[mi_a]
+        from_link = src_a >= 0
+        self._in[src_a[from_link]] = -1
+        self._inj[node_a[~from_link]] = -1
+        self._last_progress = cycle
+        if self._recording:
+            ev = np.empty((mi_a.size, 3), dtype=np.int64)
+            ev[:, 0] = cycle
+            ev[:, 1] = mi_a
+            ev[:, 2] = tq_a
+            self._ev_enqueue.extend(ev.ravel().tolist())
+
+    def _read_sparse(
+        self, arrivals: np.ndarray, inj_nodes: np.ndarray, cycle: int
+    ) -> None:
         per_node: dict[int, list[int]] = {}
         if arrivals.size:
             slot_dst = self._slot_dst
             for s in arrivals.tolist():
                 per_node.setdefault(slot_dst[s], []).append(s)
         targets = set(per_node)
-        targets.update(self._inj_busy)
-        if not targets:
-            return
+        targets.update(inj_nodes.tolist())
 
         t = self.tables
-        Q = self._q
+        qbuf = self._qbuf
+        qlen = self._qlen
+        qcount = self._qcount
         cap = self.central_capacity
         mstate = self._mstate
         mdst = self._mdst
-        mtarget = self._mtarget
+        ment_q = self._ment_q
+        ment_st = self._ment_st
         slot_pos = self._slot_pos
-        entry_row = t.entry_row
         injection_row = t.injection_row
         recording = self._recording
+        in_buf = self._in
+        inj = self._inj
         for ui in targets:
             n_in = self._n_in[ui]
             total = n_in + 1  # + the injection buffer
@@ -417,40 +790,50 @@ class VectorSimulator:
                 ((slot_pos[s] - start) % total, s)
                 for s in per_node.get(ui, ())
             ]
-            if self._inj[ui] != -1:
+            if inj[ui] != -1:
                 items.append(((n_in - start) % total, -1))
             if len(items) > 1:
                 items.sort()
             filled = 0
             for _rank, s in items:
                 if s == -1:  # the injection buffer
-                    mi = self._inj[ui]
-                    for tq, tst in injection_row(ui, mdst[mi], mstate[mi]):
-                        if len(Q[tq]) < cap:
+                    mi = int(inj[ui])
+                    for tq, tst in injection_row(
+                        ui, int(mdst[mi]), int(mstate[mi])
+                    ):
+                        if qcount[tq] < cap:
                             mstate[mi] = tst
-                            Q[tq].append(mi)
-                            self._inj[ui] = -1
-                            self._inj_busy.discard(ui)
+                            end = int(qlen[tq])
+                            if end >= qbuf.shape[1]:
+                                self._grow_qbuf(end)
+                                qbuf = self._qbuf
+                            qbuf[tq, end] = mi
+                            qlen[tq] = end + 1
+                            qcount[tq] += 1
+                            inj[ui] = -1
                             filled += 1
                             self._last_progress = cycle
                             if recording:
                                 self._ev_enqueue.extend((cycle, mi, tq))
                             break
                 else:
-                    mi = in_buf.item(s)
-                    tq, tst = entry_row(mtarget[mi], mdst[mi], mstate[mi])
-                    if len(Q[tq]) < cap:
+                    mi = int(in_buf[s])
+                    tq = int(ment_q[mi])
+                    if qcount[tq] < cap:
                         in_buf[s] = -1
-                        mtarget[mi] = -1
-                        mstate[mi] = tst
-                        Q[tq].append(mi)
+                        mstate[mi] = ment_st[mi]
+                        end = int(qlen[tq])
+                        if end >= qbuf.shape[1]:
+                            self._grow_qbuf(end)
+                            qbuf = self._qbuf
+                        qbuf[tq, end] = mi
+                        qlen[tq] = end + 1
+                        qcount[tq] += 1
                         filled += 1
                         self._last_progress = cycle
                         if recording:
                             self._ev_enqueue.extend((cycle, mi, tq))
             if filled:
-                if not self._load[ui]:
-                    self._busy.add(ui)
                 self._load[ui] += filled
 
     # -- link cycle --------------------------------------------------------
@@ -491,13 +874,12 @@ class VectorSimulator:
         self._last_progress = cycle
         if self._recording:
             self._ev_deliver.extend((cycle, mi))
-        if self._minj[mi] >= self.measure_from:
-            self.latency.record(cycle - self._minj[mi])
+        injected = int(self._minj[mi])
+        if injected >= self.measure_from:
+            self.latency.record(cycle - injected)
 
     def _queue_lengths(self) -> np.ndarray:
-        return np.fromiter(
-            map(len, self._q), dtype=np.int64, count=self.tables.n_queues
-        )
+        return self._qcount.copy()
 
     def _sample_occupancy(self) -> None:
         lens = self._queue_lengths()
@@ -556,8 +938,8 @@ class VectorSimulator:
         t = self.tables
         nodes = t.nodes
         muid = self._muid
-        mdst = self._mdst
-        minj = self._minj
+        mdst = self._mdst[: self._mn].tolist()
+        minj = self._minj[: self._mn].tolist()
         qkind = t.queue_kind
         qnode = t.queue_node
         evs: list[tuple] = []

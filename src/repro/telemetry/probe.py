@@ -264,6 +264,46 @@ class TelemetryProbe:
         reg.gauge("repro_cycles_total", help="Routing cycles run").set(
             cycles
         )
+        # Routing-structure compilation cost + memory footprint: the
+        # vector engine carries integer tables, the compiled engine a
+        # plan cache; either may be absent on other engines.
+        compile_stats = {}
+        tables = getattr(sim, "tables", None)
+        if tables is not None and hasattr(tables, "memory_bytes"):
+            reg.gauge(
+                "repro_tables_compile_seconds",
+                help="Integer routing-table construction time",
+            ).set(tables.compile_seconds)
+            reg.gauge(
+                "repro_tables_rows",
+                help="Packed integer hop rows materialized",
+            ).set(tables.rows_packed)
+            reg.gauge(
+                "repro_tables_bytes",
+                help="Integer routing-table memory footprint",
+            ).set(tables.memory_bytes())
+            compile_stats = {
+                "kind": "tables",
+                "kernel": tables.kernel is not None,
+                "compile_seconds": tables.compile_seconds,
+                "rows": tables.rows_packed,
+                "bytes": tables.memory_bytes(),
+            }
+        plans = getattr(sim, "plan_cache", None)
+        if plans is not None and hasattr(plans, "memory_bytes"):
+            reg.gauge(
+                "repro_plan_cache_entries",
+                help="Memoized symbolic routing plans",
+            ).set(plans.size)
+            reg.gauge(
+                "repro_plan_cache_bytes",
+                help="Plan-cache memory footprint (shallow estimate)",
+            ).set(plans.memory_bytes())
+            compile_stats = {
+                "kind": "plan_cache",
+                "entries": plans.size,
+                "bytes": plans.memory_bytes(),
+            }
         occ = self._occ_hist
         lat = reg.histogram("repro_latency_cycles", LATENCY_BUCKETS)
         self.summary = {
@@ -297,6 +337,7 @@ class TelemetryProbe:
             },
             "drops": reg.counter("repro_packets_dropped_total").value,
             "fault_epochs": reg.counter("repro_fault_epochs_total").value,
+            "routing_compile": compile_stats or None,
             "events": self.log.counts() if self.events else None,
             "metrics": reg.snapshot(),
         }
