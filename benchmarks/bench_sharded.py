@@ -1,0 +1,236 @@
+"""Sharded-engine benchmark: multi-process scaling at 64K nodes.
+
+Measures :class:`~repro.sim.sharded.ShardedSimulator` against the
+single-process vector engine on a 65,536-node hypercube (n=16) and a
+256x256 mesh at 1/2/4/8 shards, and writes wall time, speedup,
+parallel efficiency, and the protocol accounting (boundary messages
+per shard) to ``BENCH_sharded.json`` at the repo root.  The engines
+are byte-identical (``tests/test_sim_sharded.py``), so throughput is
+the only thing that can differ.
+
+The report is deliberately honest about parallelism
+(`docs/SHARDING.md`): it records ``host_cpus``, and on a single-core
+host the sharded engine is strictly *slower* than the vector engine —
+the one-barrier-per-cycle protocol and the boundary mirrors are pure
+overhead unless shards land on real cores.  Speedup approaches
+``min(shards, cores)`` only when boundary traffic is a small fraction
+of per-cycle work.
+
+Run standalone (writes the JSON; takes several minutes at 64K nodes)::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py
+
+CI-sized completeness + identity check (no JSON written)::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py --smoke
+
+or through pytest (the ``perf`` marker keeps it out of tier-1)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sharded.py -m perf -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.message import reset_message_ids
+from repro.routing import HypercubeAdaptiveRouting, MeshAdaptiveRouting
+from repro.sim import (
+    DynamicInjection,
+    RandomTraffic,
+    RoutingTables,
+    ShardedSimulator,
+    StaticInjection,
+    VectorSimulator,
+    make_rng,
+)
+from repro.topology import Hypercube, Mesh
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_sharded.json"
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+#: (key, topology factory, algorithm, injection factory).
+#: The hypercube cell is the ISSUE 9 acceptance workload (one static
+#: packet per node, uniform random); the mesh cell uses light dynamic
+#: injection so the drain phase stays bounded at 65K nodes.
+WORKLOADS = [
+    (
+        "hypercube-n16-static1-random",
+        lambda: Hypercube(16),
+        HypercubeAdaptiveRouting,
+        lambda t: StaticInjection(
+            1, RandomTraffic(t), make_rng(7, "bench-sharded")
+        ),
+    ),
+    (
+        "mesh-256x256-random-lam0.002",
+        lambda: Mesh((256, 256)),
+        MeshAdaptiveRouting,
+        lambda t: DynamicInjection(
+            0.002, RandomTraffic(t), make_rng(7, "bench-sharded"),
+            duration=100, warmup=25,
+        ),
+    ),
+]
+
+
+def _run_cell(key, make_topology, algorithm_cls, make_model,
+              shard_counts=SHARD_COUNTS) -> dict:
+    """Serial vector baseline + one sharded run per shard count."""
+    topo = make_topology()
+    alg = algorithm_cls(topo)
+    t0 = time.perf_counter()
+    tables = RoutingTables(alg)
+    table_build_s = time.perf_counter() - t0
+
+    # Warmup run: the shared tables materialize rows lazily, and the
+    # first run pays that once.  Without it the baseline absorbs the
+    # whole warm-up and every sharded row would ride warm tables
+    # against a cold baseline, inflating "speedups" by 4-9x.
+    reset_message_ids()
+    VectorSimulator(alg, make_model(topo), tables=tables).run(
+        max_cycles=2_000_000
+    )
+    reset_message_ids()
+    t1 = time.perf_counter()
+    base = VectorSimulator(alg, make_model(topo), tables=tables).run(
+        max_cycles=2_000_000
+    )
+    base_s = time.perf_counter() - t1
+
+    shards_out = {}
+    for n_shards in shard_counts:
+        reset_message_ids()
+        sim = ShardedSimulator(
+            alg, make_model(topo), shards=n_shards, tables=tables
+        )
+        t2 = time.perf_counter()
+        res = sim.run(max_cycles=2_000_000)
+        elapsed = time.perf_counter() - t2
+        # Identical engines on an identical workload => identical
+        # results; a scaling number for a different simulation would
+        # be meaningless.
+        assert (res.delivered, res.cycles) == (base.delivered, base.cycles)
+        speedup = base_s / elapsed
+        shards_out[str(n_shards)] = {
+            "seconds": round(elapsed, 2),
+            "speedup_vs_vector": round(speedup, 2),
+            "efficiency": round(speedup / n_shards, 3),
+            "boundary_messages": (
+                sim.hub_stats["boundary_messages"] if sim.hub_stats else None
+            ),
+        }
+    return {
+        "nodes": topo.num_nodes,
+        "cycles": base.cycles,
+        "delivered": base.delivered,
+        "table_build_seconds": round(table_build_s, 2),
+        "vector_seconds": round(base_s, 2),
+        "shards": shards_out,
+    }
+
+
+def write_bench(path: Path = BENCH_PATH,
+                shard_counts=SHARD_COUNTS) -> dict:
+    payload = {
+        "benchmark": "sharded-engine-scaling",
+        "workload": "64K-node networks, warm shared tables",
+        "metric": (
+            "wall seconds per full run, warm tables "
+            "(speedup vs 1-process vector)"
+        ),
+        "python": platform.python_version(),
+        "host_cpus": os.cpu_count(),
+        "note": (
+            "speedup can only approach min(shards, host_cpus); on a "
+            "single-core host the barrier protocol is pure overhead "
+            "and the sharded engine is slower than vector "
+            "(docs/SHARDING.md)"
+        ),
+        "results": {
+            key: _run_cell(key, *rest, shard_counts=shard_counts)
+            for key, *rest in WORKLOADS
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# CI smoke: completion + identity at toy sizes, no JSON
+# ----------------------------------------------------------------------
+SMOKE_WORKLOADS = [
+    (
+        "hypercube-n6-static2-random",
+        lambda: Hypercube(6),
+        HypercubeAdaptiveRouting,
+        lambda t: StaticInjection(
+            2, RandomTraffic(t), make_rng(7, "bench-sharded")
+        ),
+    ),
+    (
+        "mesh-16x16-random-lam0.05",
+        lambda: Mesh((16, 16)),
+        MeshAdaptiveRouting,
+        lambda t: DynamicInjection(
+            0.05, RandomTraffic(t), make_rng(7, "bench-sharded"),
+            duration=60, warmup=15,
+        ),
+    ),
+]
+
+
+def perf_smoke() -> dict:
+    """CI-sized check: every shard count completes and the merged
+    result is identical to the serial vector run — the full
+    multi-process barrier protocol, at sizes that finish in seconds."""
+    out = {}
+    for key, make_topology, algorithm_cls, make_model in SMOKE_WORKLOADS:
+        topo = make_topology()
+        alg = algorithm_cls(topo)
+        tables = RoutingTables(alg)
+        reset_message_ids()
+        base = VectorSimulator(alg, make_model(topo), tables=tables).run(
+            max_cycles=500_000
+        )
+        for n_shards in (1, 2, 4):
+            reset_message_ids()
+            res = ShardedSimulator(
+                alg, make_model(topo), shards=n_shards, tables=tables
+            ).run(max_cycles=500_000)
+            assert (res.delivered, res.cycles, sorted(res.latency.values)) \
+                == (base.delivered, base.cycles,
+                    sorted(base.latency.values)), (
+                f"{key} @ {n_shards} shards diverged from serial"
+            )
+        out[key] = {"delivered": base.delivered, "cycles": base.cycles}
+    return out
+
+
+@pytest.mark.perf
+def test_sharded_benchmark():
+    """Regenerate BENCH_sharded.json (full 64K-node grid)."""
+    payload = write_bench()
+    print()
+    print(json.dumps(payload, indent=2))
+    for key, cell in payload["results"].items():
+        assert cell["delivered"] > 0, f"{key} delivered nothing"
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--smoke" in sys.argv:
+        print(json.dumps(perf_smoke(), indent=2))
+        print("sharded smoke passed: all shard counts byte-identical")
+    else:
+        print(json.dumps(write_bench(), indent=2))
+        print(f"wrote {BENCH_PATH}")

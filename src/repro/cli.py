@@ -64,6 +64,19 @@ def _parse_ns(text: str | None) -> tuple[int, ...] | None:
     return tuple(int(x) for x in text.replace(",", " ").split())
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for counts that must be >= 1 (workers, shards)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
 def _build_algorithm(name: str, size: str):
     """Instantiate an algorithm by CLI name and size spec."""
     if name.startswith("hypercube") or name == "buffer-pool":
@@ -220,10 +233,11 @@ def cmd_telemetry(args) -> int:
     if args.engine == "both":
         engines = ("reference", "compiled")
     elif args.engine == "all":
-        # The vector engine takes no fault observers; under --faults the
-        # harness would remap it to compiled, so compare it healthy only.
+        # The vector engine takes no fault observers and the sharded
+        # engine refuses fault schedules outright; under --faults the
+        # harness would remap/raise, so compare them healthy only.
         engines = ("reference", "compiled") + (
-            () if args.faults else ("vector",)
+            () if args.faults else ("vector", "sharded")
         )
     else:
         engines = (args.engine,)
@@ -251,7 +265,10 @@ def cmd_telemetry(args) -> int:
                 alg, model, schedule, engine=engine, telemetry=probe
             )
         else:
-            sim = build_simulator(alg, model, engine=engine, telemetry=probe)
+            extra = {"shards": args.shards} if engine == "sharded" else {}
+            sim = build_simulator(
+                alg, model, engine=engine, telemetry=probe, **extra
+            )
         result = sim.run(max_cycles=2_000_000)
         paths = write_artifacts(probe, outdir, prefix=f"{engine}-")
         print(
@@ -413,7 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--no-reference", action="store_true")
     t.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=None,
         help="fan per-n cells out to this many worker processes "
         "(results are identical to a serial run)",
@@ -463,7 +480,7 @@ def build_parser() -> argparse.ArgumentParser:
     ft.add_argument("--seed", type=int, default=12345)
     ft.add_argument("--no-detour", action="store_true",
                     help="filter faulty hops but never detour")
-    ft.add_argument("--workers", type=int, default=None)
+    ft.add_argument("--workers", type=_positive_int, default=None)
     ft.add_argument("--verify", action="store_true",
                     help="also re-verify Section-2 conditions at the "
                     "largest fault set (expect honest failures)")
@@ -487,11 +504,18 @@ def build_parser() -> argparse.ArgumentParser:
     tm.add_argument("--seed", type=int, default=0)
     tm.add_argument(
         "--engine",
-        choices=("reference", "compiled", "vector", "both", "all"),
+        choices=("reference", "compiled", "vector", "sharded", "both", "all"),
         default="both",
         help="engine(s) to run; 'both' (reference+compiled) and 'all' "
-        "(+vector, healthy runs only) also check the event logs are "
-        "byte-identical",
+        "(+vector+sharded, healthy runs only) also check the event logs "
+        "are byte-identical",
+    )
+    tm.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        help="worker shards for --engine sharded/all "
+        "(default: REPRO_SHARDS or a host-sized guess)",
     )
     tm.add_argument("--out", default="telemetry-out",
                     help="artifact output directory")

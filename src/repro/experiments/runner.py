@@ -29,6 +29,7 @@ from ..routing.hypercube import (
 from ..sim.compiled import CompiledPacketSimulator
 from ..sim.engine import PacketSimulator
 from ..sim.fastcube import FastHypercubeSimulator
+from ..sim.sharded import ShardedSimulator
 from ..sim.tables import EngineCapabilityError
 from ..sim.vector import VectorSimulator
 from ..sim.injection import DynamicInjection, InjectionModel, StaticInjection
@@ -46,7 +47,14 @@ SCALES: dict[str, tuple[int, ...]] = {
 }
 
 #: Engine names accepted by :func:`build_simulator` / ``REPRO_ENGINE``.
-ENGINES: tuple[str, ...] = ("auto", "reference", "compiled", "fast", "vector")
+ENGINES: tuple[str, ...] = (
+    "auto",
+    "reference",
+    "compiled",
+    "fast",
+    "vector",
+    "sharded",
+)
 
 #: One-screen engine capability matrix, embedded in selection errors.
 #: The canonical (maintained) version lives in docs/ARCHITECTURE.md.
@@ -56,6 +64,7 @@ reference  any               yes     yes        yes    1x
 compiled   any               yes     yes        yes    ~2-5x
 fast       hypercube only    no      no         no     ~3-10x
 vector     any               no      telemetry  no     ~10-40x
+sharded    any               no      telemetry  no     ~vector/shards
 (auto = fast when eligible, else compiled; see docs/ARCHITECTURE.md)"""
 
 
@@ -115,10 +124,16 @@ def build_simulator(
     * ``vector``    — :class:`~repro.sim.vector.VectorSimulator`, the
       table-driven engine (any topology, packet-identical; hashable
       states, telemetry probes yes, fault observers / tracing no);
+    * ``sharded``   — :class:`~repro.sim.sharded.ShardedSimulator`, the
+      multi-process engine: the vector engine partitioned across
+      ``REPRO_SHARDS`` worker processes (or a ``shards=`` kwarg) with
+      byte-identical merged results; same capability limits as
+      ``vector`` (see ``docs/SHARDING.md``);
     * ``auto``      — ``fast`` when the algorithm qualifies, otherwise
-      ``compiled``.  ``auto`` never picks ``vector``: the vector
-      engine rejects fault observers and tracing outright rather than
-      degrading, so it stays opt-in (``REPRO_ENGINE=vector``).
+      ``compiled``.  ``auto`` never picks ``vector`` or ``sharded``:
+      both reject fault observers and tracing outright rather than
+      degrading, so they stay opt-in (``REPRO_ENGINE=vector`` /
+      ``REPRO_ENGINE=sharded``).
 
     Every engine implements the reference engine's exact Section-7.1
     semantics, so the choice never changes results, only throughput —
@@ -156,6 +171,8 @@ def build_simulator(
         sim = CompiledPacketSimulator(algorithm, model, **kwargs)
     elif name == "vector":
         sim = VectorSimulator(algorithm, model, **kwargs)
+    elif name == "sharded":
+        sim = ShardedSimulator(algorithm, model, **kwargs)
     # auto: prefer the specialized engine, fall back to the compiled
     # generic engine (both are packet-for-packet identical).  Callers
     # should omit generic-only kwargs they don't need, since their mere

@@ -13,7 +13,9 @@ from .plans import CentralPlan, RoutingPlanCache
 from .tables import EngineCapabilityError, RoutingTables
 from .vector import VectorSimulator
 from .metrics import LatencyStats, SimulationResult
+from .partition import TopologyPartition, partition_topology
 from .rng import make_rng
+from .sharded import ShardedSimulator, shard_count
 from .trace import CompiledTracingSimulator, TraceEvent, TracingSimulator
 from .traffic import (
     BitReversalTraffic,
@@ -36,6 +38,10 @@ __all__ = [
     "CompiledPacketSimulator",
     "FastHypercubeSimulator",
     "VectorSimulator",
+    "ShardedSimulator",
+    "shard_count",
+    "TopologyPartition",
+    "partition_topology",
     "RoutingTables",
     "EngineCapabilityError",
     "RoutingPlanCache",

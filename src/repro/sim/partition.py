@@ -1,0 +1,140 @@
+"""Topology partitioning for the sharded engine (``repro.sim.sharded``).
+
+A :class:`TopologyPartition` assigns every node (by its dense
+:class:`~repro.sim.tables.RoutingTables` index, i.e. its position in
+``topology.nodes()`` order) to one shard.  The sharded engine runs one
+:class:`~repro.sim.vector.VectorSimulator`-derived worker per shard and
+exchanges boundary-link traffic each cycle, so a good partition keeps
+shards balanced and the boundary (links whose endpoints live on
+different shards) small.
+
+Three strategies, chosen by topology family:
+
+* ``dimension-prefix`` — hypercubes and cube-connected cycles.  Both
+  families iterate their nodes address-major (the hypercube's node
+  *is* its address; the CCC iterates ``(w, p)`` cycle-major), so
+  splitting the node order into equal contiguous runs assigns each
+  shard one high-order address-prefix range: for a ``2^b``-way split
+  of a hypercube the boundary is exactly the ``b`` highest dimensions'
+  links.
+* ``block`` — meshes and tori.  The node order is axis-0-major, so
+  contiguous runs are slabs of consecutive rows (hyperplanes of the
+  first axis); the boundary is the row seam between adjacent slabs
+  (plus the wrap-around links on a torus).
+* ``hash`` — every other graph (shuffle-exchange, Benes, arbitrary
+  digraphs).  A deterministic content hash (CRC-32 of the canonical
+  node label) spreads nodes without assuming any geometry.  Balance is
+  statistical and the boundary is large; this is the honest fallback
+  for topologies without locality.
+
+All strategies are pure functions of ``(topology, n_shards)`` — every
+worker process recomputes the same partition, which the sharded
+engine's replay protocol depends on.
+"""
+
+from __future__ import annotations
+
+import warnings
+import zlib
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from ..topology.base import Topology
+from ..topology.ccc import CubeConnectedCycles
+from ..topology.hypercube import Hypercube
+from ..topology.mesh import Mesh
+
+__all__ = ["TopologyPartition", "partition_topology"]
+
+
+@dataclass(frozen=True)
+class TopologyPartition:
+    """Shard assignment for one topology's node set.
+
+    ``owner[i]`` is the shard that simulates node ``i`` (dense index in
+    ``topology.nodes()`` order).  Instances are deterministic given
+    ``(topology, n_shards)``; see :func:`partition_topology`.
+    """
+
+    n_shards: int
+    kind: str  #: "dimension-prefix" | "block" | "hash"
+    owner: np.ndarray = field(repr=False)  #: node index -> shard id
+
+    def shard_nodes(self, shard: int) -> np.ndarray:
+        """Dense node indices owned by ``shard`` (ascending)."""
+        return np.flatnonzero(self.owner == shard)
+
+    def counts(self) -> np.ndarray:
+        """Nodes per shard."""
+        return np.bincount(self.owner, minlength=self.n_shards)
+
+    def boundary_links(self, topology: Topology) -> int:
+        """Number of directed links crossing a shard boundary."""
+        nid = {u: i for i, u in enumerate(topology.nodes())}
+        owner = self.owner
+        return sum(
+            1
+            for u in topology.nodes()
+            for v in topology.neighbors(u)
+            if owner[nid[u]] != owner[nid[v]]
+        )
+
+    def describe(self) -> str:
+        counts = self.counts()
+        return (
+            f"{self.kind} partition into {self.n_shards} shard(s); "
+            f"{int(counts.min())}-{int(counts.max())} nodes/shard"
+        )
+
+
+def _stable_hash(label: Hashable) -> int:
+    """Process-independent node hash (``hash()`` is salted per run)."""
+    return zlib.crc32(repr(label).encode("utf-8"))
+
+
+def _contiguous(n_nodes: int, n_shards: int) -> np.ndarray:
+    owner = np.empty(n_nodes, dtype=np.int64)
+    for shard, chunk in enumerate(np.array_split(np.arange(n_nodes), n_shards)):
+        owner[chunk] = shard
+    return owner
+
+
+def partition_topology(
+    topology: Topology, n_shards: int
+) -> TopologyPartition:
+    """Partition ``topology`` into ``n_shards`` shards.
+
+    ``n_shards`` must be a positive integer (:class:`ValueError`
+    otherwise).  Asking for more shards than the topology has nodes is
+    wasteful but not fatal: a :class:`UserWarning` is emitted and the
+    count is clamped to the node count, so every shard owns at least
+    one node.
+    """
+    if not isinstance(n_shards, int) or isinstance(n_shards, bool):
+        raise ValueError(f"n_shards must be an int, got {n_shards!r}")
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    nodes = list(topology.nodes())
+    n_nodes = len(nodes)
+    if n_shards > n_nodes:
+        warnings.warn(
+            f"{n_shards} shards requested for {n_nodes}-node "
+            f"{topology.name}; clamping to one shard per node",
+            UserWarning,
+            stacklevel=2,
+        )
+        n_shards = n_nodes
+    if isinstance(topology, (Hypercube, CubeConnectedCycles)):
+        kind = "dimension-prefix"
+        owner = _contiguous(n_nodes, n_shards)
+    elif isinstance(topology, Mesh):  # Torus subclasses Mesh
+        kind = "block"
+        owner = _contiguous(n_nodes, n_shards)
+    else:
+        kind = "hash"
+        owner = np.asarray(
+            [_stable_hash(u) % n_shards for u in nodes], dtype=np.int64
+        )
+    return TopologyPartition(n_shards=n_shards, kind=kind, owner=owner)

@@ -1,0 +1,1148 @@
+"""Sharded multi-process execution of the vector engine.
+
+:class:`ShardedSimulator` splits a topology into per-worker shards
+(:mod:`repro.sim.partition`), runs one :class:`_ShardEngine` — a
+:class:`~repro.sim.vector.VectorSimulator` subclass restricted to its
+shard's nodes — per worker process, and synchronizes the workers with
+one conservative barrier per routing cycle.  The result (delivered
+packets, metrics, the canonical JSONL event log) is **byte-identical**
+to a serial reference/vector run at equal seeds; `docs/SHARDING.md`
+walks through the protocol and the identity argument in detail.
+
+The short version:
+
+* **Identical structure everywhere.**  Node, queue, and link-slot ids
+  are pure functions of the topology (``RoutingTables`` interns them in
+  ``topology.nodes()`` order), so every worker addresses the same
+  global id space and the partition is recomputed identically in every
+  process.
+* **Replayed injection.**  Message uids and RNG draws happen in global
+  node order inside the injection model.  Every worker replays the
+  *whole* model — placements on foreign nodes are dropped after their
+  uid/RNG effects — so the uid stream matches the serial run exactly.
+  (For plain :class:`~repro.sim.injection.StaticInjection`, whose
+  ``attempt`` is per-node and RNG-free, the replay collapses to the
+  local nodes after a shared ``setup``.)
+* **Mirrored boundary buffers.**  A link whose endpoints live on
+  different shards has its output buffer owned by the source shard and
+  its input buffer by the destination shard; each side keeps a mirror
+  of the other's occupancy, refreshed at the per-cycle barrier, and
+  both sides replay the *same* link-cycle decision (same ``cycle % k``
+  rotation over the same slot ids) so the mirrors never diverge.
+* **Canonical merge.**  Per-shard event streams are merged in the
+  canonical ``(cycle, uid)`` order of
+  :meth:`~repro.telemetry.events.EventLog.canonical`; the only
+  same-key event pair an engine can emit (inject→enqueue) never
+  crosses shards, so the merge is unambiguous and byte-stable.
+
+**Capability limits** (honest :class:`EngineCapabilityError`, like the
+vector engine): no per-hop tracing, no generic observers (telemetry
+probes only), and no fault schedules yet —
+``repro.faults.experiments.make_fault_simulator`` refuses
+``engine="sharded"`` instead of silently remapping.  One behavioral
+caveat: deadlock detection sees remote progress one barrier late, so a
+:class:`DeadlockError` may fire one cycle later than serial (the cycle
+and packet counts in the message are the converged global values).
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing as mp
+import os
+import time
+from typing import Hashable
+
+import numpy as np
+
+from ..core.message import (
+    Message,
+    message_id_watermark,
+    set_message_id_watermark,
+)
+from ..core.routing_function import RoutingAlgorithm
+from .engine import CycleLimitExceeded, DeadlockError
+from .injection import InjectionModel, StaticInjection
+from .metrics import LatencyStats, SimulationResult
+from .partition import TopologyPartition, partition_topology
+from .tables import EngineCapabilityError, RoutingTables
+from .vector import VectorSimulator
+
+__all__ = ["ShardedSimulator", "shard_count"]
+
+
+def shard_count(default: int | None = None) -> int:
+    """Resolve the shard count: ``REPRO_SHARDS`` env var, else
+    ``default``, else one shard per available core (capped at 4)."""
+    env = os.environ.get("REPRO_SHARDS")
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SHARDS must be a positive integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(
+                f"REPRO_SHARDS must be a positive integer, got {env!r}"
+            )
+        return value
+    if default is not None:
+        return default
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+class _Aborted(Exception):
+    """A peer shard failed; this worker exits quietly."""
+
+
+def _cycle_limit_message(sim) -> str:
+    # Same text the serial engines raise, built from the converged
+    # global counters so every shard (and the parent) agrees on it.
+    return (
+        f"simulation exceeded {sim._limit} cycles with no end in "
+        f"sight: {sim.active} of {sim.injected_count} "
+        f"injected packets still in flight "
+        f"({sim.algorithm.name}; raise max_cycles or check "
+        "for livelock)"
+    )
+
+
+# ======================================================================
+# Per-shard engine
+# ======================================================================
+class _ShardEngine(VectorSimulator):
+    """A vector engine that owns one shard of the network.
+
+    The full integer tables are shared (global id space); only the
+    dynamic state of local nodes is ever populated.  Boundary links
+    keep occupancy mirrors of their remote half, refreshed at the
+    barrier (`docs/SHARDING.md`).
+    """
+
+    def __init__(
+        self,
+        algorithm: RoutingAlgorithm,
+        injection: InjectionModel,
+        shard_id: int,
+        partition: TopologyPartition,
+        mirror_injection: bool,
+        **kwargs,
+    ):
+        super().__init__(algorithm, injection, **kwargs)
+        self.shard_id = shard_id
+        self.partition = partition
+        t = self.tables
+        owner = np.asarray(partition.owner, dtype=np.int64)
+        self._owner = owner
+        self._local_mask = owner == shard_id
+        self._local_nodes = np.flatnonzero(self._local_mask)
+        qnode = np.asarray(t.queue_node, dtype=np.int64)
+        self._local_qids = np.flatnonzero(self._local_mask[qnode])
+        slot_src = np.asarray(t.slot_src, dtype=np.int64)
+        slot_dst = np.asarray(t.slot_dst, dtype=np.int64)
+        self._slot_src_a = slot_src
+        src_local = owner[slot_src] == shard_id
+        dst_local = owner[slot_dst] == shard_id
+        #: Boundary slots whose *output* buffer we own / whose *input*
+        #: buffer we own.
+        self._bout = np.flatnonzero(src_local & ~dst_local)
+        self._bin = np.flatnonzero(~src_local & dst_local)
+        self._slot_dst_owner = owner[slot_dst]
+        self._slot_src_owner = owner[slot_src]
+        # Split the link-cycle class groups three ways: both endpoints
+        # local (the inherited `_link_cycle` handles these), source
+        # local (out buffer real, in buffer mirrored), destination
+        # local (out mirrored, in real).  A row's k slots share one
+        # (src, dst) pair, so membership is decided by column 0.
+        internal_cols: dict[int, list[np.ndarray]] = {}
+        bnd_src_cols: dict[int, list[np.ndarray]] = {}
+        bnd_dst_cols: dict[int, list[np.ndarray]] = {}
+        for k, mat in t.link_groups.items():
+            first = mat[:, 0]
+            s_loc = src_local[first]
+            d_loc = dst_local[first]
+            for rows, store in (
+                (s_loc & d_loc, internal_cols),
+                (s_loc & ~d_loc, bnd_src_cols),
+                (d_loc & ~s_loc, bnd_dst_cols),
+            ):
+                if rows.any():
+                    sub = mat[rows]
+                    store[k] = [
+                        np.ascontiguousarray(sub[:, j]) for j in range(k)
+                    ]
+        self._link_cols = internal_cols
+        self._bnd_src_cols = bnd_src_cols
+        self._bnd_dst_cols = bnd_dst_cols
+        # Occupancy mirrors of the remote halves of boundary links.
+        # Kept outside `_in`/`_out` so the inherited phases never see
+        # remote state.
+        self._rin_occ = np.zeros(t.n_slots, dtype=bool)
+        self._rout_occ = np.zeros(t.n_slots, dtype=bool)
+        self._rout_payload: dict[int, tuple] = {}
+        # Remote injection-buffer mirror (True = free), refreshed from
+        # the barrier bitmasks; only consulted by replayed models.
+        self._mirror_injection = mirror_injection
+        self._rinj_free = np.ones(len(self.nodes), dtype=bool)
+        self._peer_nodes = [
+            partition.shard_nodes(j) for j in range(partition.n_shards)
+        ]
+        # Per-cycle outgoing state, drained by `collect()`.
+        self._fills_by_dst: dict[int, list[tuple]] = {}
+        self._drains_by_src: dict[int, list[int]] = {}
+        self._delta_injected = 0
+        self._delta_delivered = 0
+        # Run-total shard statistics (per-shard telemetry gauges).
+        self.local_injected_total = 0
+        self.local_delivered_total = 0
+        self.boundary_sent_total = 0
+        self.boundary_recv_total = 0
+        # Probe state, buffered locally (no probe object in workers).
+        self._hist_counts = np.zeros(0, dtype=np.int64)
+        self._shard_series: list[tuple[int, np.ndarray]] = []
+        self._last_active_sample: int | None = None
+        #: Measured deliveries as (cycle, uid, latency) — merged by the
+        #: parent in (cycle, uid) order into the run's LatencyStats.
+        self._lat_log: list[tuple[int, int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Injection facade (global replay)
+    # ------------------------------------------------------------------
+    def injection_queue_free(self, u: Hashable) -> bool:
+        ui = self._nid[u]
+        if self._local_mask[ui]:
+            return bool(self._inj[ui] == -1)
+        return bool(self._rinj_free[ui])
+
+    def place_in_injection_queue(
+        self, u: Hashable, msg: Message, cycle: int
+    ) -> None:
+        ui = self._nid[u]
+        if self._local_mask[ui]:
+            super().place_in_injection_queue(u, msg, cycle)
+            self._delta_injected += 1
+            self.local_injected_total += 1
+            return
+        # Foreign node: the owning shard replays the identical
+        # placement; here only the mirror changes (the message's uid
+        # and RNG draws were already consumed, which is the point).
+        if not self._rinj_free[ui]:
+            raise RuntimeError(f"injection queue at {u} occupied")
+        self._rinj_free[ui] = False
+
+    def localize_static_injection(self) -> None:
+        """Shrink the replay to local nodes (plain static models only).
+
+        ``StaticInjection.attempt`` touches one node at a time with no
+        RNG, so after the (global, uid-consuming) ``setup`` the foreign
+        nodes can simply be dropped from the iteration — their
+        placements happen on the owning shard.  ``total`` stays global.
+        """
+        model = self.injection
+        self.nodes = [self.tables.nodes[i] for i in self._local_nodes]
+        model.backlog = {u: model.backlog[u] for u in self.nodes}
+
+    # ------------------------------------------------------------------
+    # Delivery / accounting
+    # ------------------------------------------------------------------
+    def _deliver(self, mi: int, cycle: int) -> None:
+        super()._deliver(mi, cycle)
+        self._delta_delivered += 1
+        self.local_delivered_total += 1
+        injected = int(self._minj[mi])
+        if injected >= self.measure_from:
+            self._lat_log.append(
+                (cycle, int(self._muid[mi]), cycle - injected)
+            )
+
+    # ------------------------------------------------------------------
+    # Phase A: probe sample + injection + fill + read
+    # ------------------------------------------------------------------
+    def sample_probe(self, cycle: int, series: bool) -> None:
+        # Mirrors VectorSimulator._probe_sample over the local queues;
+        # foreign queues are sampled by their owning shard, and the
+        # union of the shards' samples is the serial full-network
+        # sample.  `active` converged at the last barrier, so it is the
+        # global in-flight count.
+        lens = self._qcount[self._local_qids]
+        counts = np.bincount(lens)
+        if counts.size > self._hist_counts.size:
+            grown = np.zeros(counts.size, dtype=np.int64)
+            grown[: self._hist_counts.size] = self._hist_counts
+            self._hist_counts = grown
+        self._hist_counts[: counts.size] += counts
+        if series:
+            self._shard_series.append((cycle, lens.copy()))
+        self._last_active_sample = int(self.active)
+
+    def phase_node(self, cycle: int) -> None:
+        self._recording = self._events is not None
+        self.injection.attempt(self, cycle)
+        bout = self._bout
+        pre_out = self._out[bout] != -1
+        busy = np.flatnonzero(self._load)
+        if busy.size:
+            if self._uniform_nk and busy.size >= self.batch_fill_min:
+                self._fill_batch(busy, cycle)
+            else:
+                for ui in busy.tolist():
+                    self._fill_node(ui, cycle)
+        new_fills = bout[(self._out[bout] != -1) & ~pre_out]
+        for s in new_fills.tolist():
+            dst_shard = int(self._slot_dst_owner[s])
+            self._fills_by_dst.setdefault(dst_shard, []).append(
+                self._fill_payload(s)
+            )
+        bin_ = self._bin
+        pre_in = self._in[bin_] != -1
+        self._read_inputs(cycle)
+        drained = bin_[pre_in & (self._in[bin_] == -1)]
+        for s in drained.tolist():
+            src_shard = int(self._slot_src_owner[s])
+            self._drains_by_src.setdefault(src_shard, []).append(int(s))
+
+    def _fill_payload(self, s: int) -> tuple:
+        # Everything the destination shard needs to re-register the
+        # message under the same uid: ids are global, but routing-state
+        # *ids* are interned lazily per process, so the entry state
+        # travels as its (hashable) object and is re-interned on
+        # arrival.
+        mi = int(self._out[s])
+        msg = self._mobj[mi]
+        return (
+            int(s),
+            self._muid[mi],
+            int(self._nid[msg.src]),
+            int(self._mdst[mi]),
+            int(self._minj[mi]),
+            int(self._ment_q[mi]),
+            self.tables.states[int(self._ment_st[mi])],
+        )
+
+    def _register_remote(self, payload: tuple) -> int:
+        s, uid, src_i, dst_i, inj_cycle, ent_q, ent_state = payload
+        mi = self._mn
+        if mi == self._mdst.size:
+            self._grow_msgs()
+        nodes = self.tables.nodes
+        # Explicit uid: does not consume the global counter.
+        msg = Message(
+            src=nodes[src_i],
+            dst=nodes[dst_i],
+            uid=uid,
+            injected_cycle=inj_cycle,
+        )
+        self._mobj.append(msg)
+        self._muid.append(uid)
+        sid = self.tables.state_id(ent_state)
+        self._mdst[mi] = dst_i
+        self._mstate[mi] = sid
+        self._minj[mi] = inj_cycle
+        self._ment_q[mi] = ent_q
+        self._ment_st[mi] = sid
+        self._msig_q.append(-1)
+        self._msig_st.append(-1)
+        self._mrow.append(None)
+        self._mn = mi + 1
+        return mi
+
+    # ------------------------------------------------------------------
+    # Barrier payloads
+    # ------------------------------------------------------------------
+    def collect(self) -> tuple:
+        fills = self._fills_by_dst
+        drains = self._drains_by_src
+        self._fills_by_dst = {}
+        self._drains_by_src = {}
+        self.boundary_sent_total += sum(len(v) for v in fills.values())
+        bits = None
+        if self._mirror_injection:
+            local = self._local_nodes
+            occupied = self._inj[local] != -1
+            bits = np.packbits(occupied).tobytes()
+        payload = (
+            fills,
+            drains,
+            bits,
+            self._delta_injected,
+            self._delta_delivered,
+            int(self._last_progress),
+        )
+        self._delta_injected = 0
+        self._delta_delivered = 0
+        return payload
+
+    def apply(self, reply: tuple) -> None:
+        fills, drains, bits_by_shard, d_inj, d_del, progress = reply
+        self.injected_count += d_inj
+        self.delivered_count += d_del
+        self.active += d_inj - d_del
+        for payload in fills:
+            s = payload[0]
+            self._rout_occ[s] = True
+            self._rout_payload[s] = payload
+            self.boundary_recv_total += 1
+        for s in drains:
+            self._rin_occ[s] = False
+        for shard, bits in bits_by_shard:
+            peers = self._peer_nodes[shard]
+            occupied = np.unpackbits(
+                np.frombuffer(bits, dtype=np.uint8), count=peers.size
+            ).astype(bool)
+            self._rinj_free[peers] = ~occupied
+        if progress > self._last_progress:
+            self._last_progress = progress
+
+    # ------------------------------------------------------------------
+    # Phase B: link cycle (internal + boundary)
+    # ------------------------------------------------------------------
+    def phase_link(self, cycle: int) -> None:
+        self._link_cycle(cycle)
+        self._boundary_link_cycle(cycle)
+        if (
+            self.collect_occupancy
+            and cycle % self.occupancy_sample_every == 0
+        ):
+            self._sample_occupancy()
+
+    def _boundary_link_cycle(self, cycle: int) -> None:
+        """Replay the link cycle over boundary rows.
+
+        Source-local rows move a real output buffer into the mirror of
+        the remote input buffer; destination-local rows pop the
+        mirrored output payload into the real input buffer.  Both
+        sides evaluate the same occupancy predicate over the same slot
+        ids with the same ``cycle % k`` rotation, so the two replicas
+        of every decision agree.
+        """
+        out = self._out
+        inb = self._in
+        rin = self._rin_occ
+        rout = self._rout_occ
+        progressed = False
+        for k, cols in self._bnd_src_cols.items():
+            if k == 1:
+                col = cols[0]
+                mv = (out[col] != -1) & ~rin[col]
+                if mv.any():
+                    mc = col[mv]
+                    rin[mc] = True
+                    out[mc] = -1
+                    progressed = True
+            else:
+                r = cycle % k
+                done = np.zeros(len(cols[0]), dtype=bool)
+                for p in range(k):
+                    col = cols[(r + p) % k]
+                    mv = (out[col] != -1) & ~rin[col] & ~done
+                    if mv.any():
+                        mc = col[mv]
+                        rin[mc] = True
+                        out[mc] = -1
+                        done |= mv
+                        progressed = True
+        for k, cols in self._bnd_dst_cols.items():
+            if k == 1:
+                col = cols[0]
+                mv = rout[col] & (inb[col] == -1)
+                if mv.any():
+                    mc = col[mv]
+                    self._accept_remote(mc)
+                    rout[mc] = False
+                    progressed = True
+            else:
+                r = cycle % k
+                done = np.zeros(len(cols[0]), dtype=bool)
+                for p in range(k):
+                    col = cols[(r + p) % k]
+                    mv = rout[col] & (inb[col] == -1) & ~done
+                    if mv.any():
+                        mc = col[mv]
+                        self._accept_remote(mc)
+                        rout[mc] = False
+                        done |= mv
+                        progressed = True
+        if progressed:
+            self._last_progress = cycle
+
+    def _accept_remote(self, slots: np.ndarray) -> None:
+        for s in slots.tolist():
+            mi = self._register_remote(self._rout_payload.pop(s))
+            self._in[s] = mi
+
+    # ------------------------------------------------------------------
+    # Occupancy (restricted to local queues; the parent merges)
+    # ------------------------------------------------------------------
+    def occupancy_mean(self) -> dict[tuple[Hashable, str], float]:
+        if not self.occupancy_samples:
+            return {}
+        t = self.tables
+        return {
+            (t.nodes[t.queue_node[q]], t.queue_kind[q]): (
+                int(self._occ_sum[q]) / self.occupancy_samples
+            )
+            for q in self._local_qids.tolist()
+        }
+
+
+# ======================================================================
+# Barrier hub (runs in the parent / the inline driver)
+# ======================================================================
+class _BarrierHub:
+    """Routes one round of barrier payloads between shards."""
+
+    def __init__(self, n_shards: int):
+        self.n_shards = n_shards
+        self.boundary_messages = [0] * n_shards
+
+    def route(self, payloads: list[tuple]) -> list[tuple]:
+        n = self.n_shards
+        inj_total = sum(p[3] for p in payloads)
+        del_total = sum(p[4] for p in payloads)
+        progress = max(p[5] for p in payloads)
+        for i, p in enumerate(payloads):
+            self.boundary_messages[i] += sum(
+                len(v) for v in p[0].values()
+            )
+        replies = []
+        for j in range(n):
+            fills: list[tuple] = []
+            drains: list[int] = []
+            bits: list[tuple[int, bytes]] = []
+            for i, p in enumerate(payloads):
+                if i == j:
+                    continue
+                fills.extend(p[0].get(j, ()))
+                drains.extend(p[1].get(j, ()))
+                if p[2] is not None:
+                    bits.append((i, p[2]))
+            replies.append(
+                (
+                    fills,
+                    drains,
+                    bits,
+                    inj_total - payloads[j][3],
+                    del_total - payloads[j][4],
+                    progress,
+                )
+            )
+        return replies
+
+
+# ======================================================================
+# Per-shard driver (lockstep loop; works inline or in a worker process)
+# ======================================================================
+class _ShardRunner:
+    """Drives one shard engine through the barrier protocol."""
+
+    def __init__(
+        self,
+        engine: _ShardEngine,
+        limit: int,
+        record_events: bool,
+        sample_every: int,
+        sample_series: bool,
+    ):
+        self.engine = engine
+        self.limit = limit
+        self.sample_every = sample_every
+        self.sample_series = sample_series
+        self.barrier_wait = 0.0
+        engine._limit = limit
+        if record_events:
+            engine._events = []
+
+    def setup(self) -> None:
+        eng = self.engine
+        eng.injection.setup(eng)
+        if not eng._mirror_injection:
+            eng.localize_static_injection()
+
+    def phase_a(self) -> tuple:
+        eng = self.engine
+        cycle = eng.cycle
+        if self.sample_every and cycle % self.sample_every == 0:
+            eng.sample_probe(cycle, self.sample_series)
+        eng.phase_node(cycle)
+        return eng.collect()
+
+    def phase_b(self, reply: tuple) -> str:
+        eng = self.engine
+        cycle = eng.cycle
+        eng.apply(reply)
+        eng.phase_link(cycle)
+        eng.cycle += 1
+        # Remote link-phase progress reaches this shard one barrier
+        # late, hence the +1 slack over the serial threshold.
+        if (
+            eng.active > 0
+            and eng.cycle - eng._last_progress > eng.stall_limit + 1
+        ):
+            raise DeadlockError(
+                f"no progress for {eng.stall_limit} cycles at cycle "
+                f"{eng.cycle} with {eng.active} active packets "
+                f"({eng.algorithm.name})"
+            )
+        if eng.injection.finished(eng, eng.cycle - 1):
+            return "done"
+        if eng.cycle >= self.limit:
+            raise CycleLimitExceeded(_cycle_limit_message(eng))
+        return "run"
+
+    def run_with(self, exchange) -> dict:
+        """Full lockstep loop against a barrier ``exchange`` callable."""
+        self.setup()
+        while True:
+            payload = self.phase_a()
+            reply = exchange(self.engine.cycle, payload)
+            if self.phase_b(reply) == "done":
+                return self.shard_result()
+
+    def shard_result(self) -> dict:
+        eng = self.engine
+        model = eng.injection
+        # The serial run consumes one uid per Message the model
+        # constructs; the parent advances its own counter by this much
+        # so a follow-up run continues the same uid stream.
+        uids_consumed = (
+            model.total
+            if isinstance(model, StaticInjection)
+            else eng.injected_count
+        )
+        occupancy = None
+        if eng.collect_occupancy:
+            occupancy = {
+                "mean": eng.occupancy_mean(),
+                "peak": eng._occupancy_peaks(),
+            }
+        return {
+            "shard": eng.shard_id,
+            "cycles": eng.cycle,
+            "injected": eng.injected_count,
+            "delivered": eng.delivered_count,
+            "active": eng.active,
+            "attempts": getattr(model, "attempts", 0),
+            "successes": getattr(model, "successes", 0),
+            "uids_consumed": uids_consumed,
+            "latency": eng._lat_log,
+            "events": (
+                eng._materialize_events()
+                if eng._events is not None
+                else None
+            ),
+            "hist_counts": eng._hist_counts,
+            "series": eng._shard_series,
+            "last_active_sample": eng._last_active_sample,
+            "occupancy": occupancy,
+            "local_nodes": int(eng._local_nodes.size),
+            "local_injected": eng.local_injected_total,
+            "local_delivered": eng.local_delivered_total,
+            "boundary_sent": eng.boundary_sent_total,
+            "boundary_recv": eng.boundary_recv_total,
+            "barrier_wait": self.barrier_wait,
+        }
+
+
+# ======================================================================
+# Worker process entry point
+# ======================================================================
+#: Exception classes a worker may legitimately re-raise in the parent.
+_WORKER_EXCEPTIONS = {
+    "DeadlockError": DeadlockError,
+    "CycleLimitExceeded": CycleLimitExceeded,
+    "EngineCapabilityError": EngineCapabilityError,
+    "ValueError": ValueError,
+    "RuntimeError": RuntimeError,
+    "KeyError": KeyError,
+}
+
+
+def _worker_entry(conn, spec: dict) -> None:
+    try:
+        set_message_id_watermark(spec["uid_watermark"])
+        algorithm = spec["algorithm"]
+        tables = spec["tables"]
+        if tables is None:
+            # Spawn start method: the kernelized tables may not pickle,
+            # so each worker rebuilds them (deterministic structure).
+            tables = RoutingTables(algorithm)
+        engine = _ShardEngine(
+            algorithm,
+            spec["injection"],
+            spec["shard_id"],
+            spec["partition"],
+            spec["mirror_injection"],
+            tables=tables,
+            **spec["engine_kwargs"],
+        )
+        runner = _ShardRunner(
+            engine,
+            spec["limit"],
+            spec["record_events"],
+            spec["sample_every"],
+            spec["sample_series"],
+        )
+
+        def exchange(cycle: int, payload: tuple) -> tuple:
+            conn.send(("barrier", cycle, payload))
+            t0 = time.perf_counter()
+            msg = conn.recv()
+            runner.barrier_wait += time.perf_counter() - t0
+            if msg[0] == "abort":
+                raise _Aborted()
+            return msg[1]
+
+        conn.send(("done", runner.run_with(exchange)))
+    except _Aborted:
+        pass
+    except BaseException as exc:
+        try:
+            conn.send(("error", type(exc).__name__, str(exc)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+# ======================================================================
+# The public engine
+# ======================================================================
+class ShardedSimulator:
+    """Sharded multi-process drop-in for :class:`VectorSimulator` runs.
+
+    Same constructor contract as the vector engine plus the sharding
+    knobs.  ``shards=None`` resolves through :func:`shard_count`
+    (``REPRO_SHARDS``, else min(cores, 4)); ``inline=True`` runs the
+    shard engines lockstep inside this process — the full barrier
+    protocol without process isolation, used by the identity tests and
+    automatically when only one shard is requested.
+
+    The run's results are merged from the shard workers and are
+    byte-identical to a serial run at equal seeds (`docs/SHARDING.md`).
+    """
+
+    def __init__(
+        self,
+        algorithm: RoutingAlgorithm,
+        injection: InjectionModel,
+        shards: int | None = None,
+        partition: TopologyPartition | None = None,
+        inline: bool = False,
+        central_capacity: int = 5,
+        stall_limit: int = 1000,
+        trace: bool = False,
+        collect_occupancy: bool = False,
+        occupancy_sample_every: int = 1,
+        policy: str = "paper",
+        service: str = "fifo",
+        tables: RoutingTables | None = None,
+    ):
+        if trace:
+            raise EngineCapabilityError(
+                "the sharded engine does not record per-hop traces; use "
+                "engine='reference' or engine='compiled' "
+                "(see docs/ARCHITECTURE.md)"
+            )
+        if policy not in ("paper", "rotating"):
+            raise ValueError("policy must be 'paper' or 'rotating'")
+        if service not in ("fifo", "lifo"):
+            raise ValueError("service must be 'fifo' or 'lifo'")
+        self.algorithm = algorithm
+        self.topology = algorithm.topology
+        self.injection = injection
+        self.collect_occupancy = collect_occupancy
+        self.tables = (
+            tables if tables is not None else RoutingTables(algorithm)
+        )
+        if self.tables.algorithm is not algorithm:
+            raise ValueError("tables were built for a different algorithm")
+        if partition is None:
+            partition = partition_topology(
+                self.topology, shard_count(shards)
+            )
+        self.partition = partition
+        self.n_shards = partition.n_shards
+        self.inline = inline or self.n_shards == 1
+        self._mirror_injection = type(injection) is not StaticInjection
+        self._engine_kwargs = dict(
+            central_capacity=central_capacity,
+            stall_limit=stall_limit,
+            collect_occupancy=collect_occupancy,
+            occupancy_sample_every=occupancy_sample_every,
+            policy=policy,
+            service=service,
+        )
+        # Mirror the vector engine's public surface so
+        # TelemetryProbe.attach and result assembly work unchanged.
+        self.nodes = self.tables.nodes
+        self.link_classes = self.tables.link_classes
+        self.dead_nodes: frozenset = frozenset()
+        self.blocked_links: frozenset = frozenset()
+        self._events = None
+        self._probe = None
+        self.cycle = 0
+        self.injected_count = 0
+        self.delivered_count = 0
+        self.active = 0
+        self.latency = LatencyStats()
+        self._limit = 0
+        self.hub_stats: dict | None = None
+
+    # ------------------------------------------------------------------
+    def add_observer(self, observer) -> None:
+        """Accept a telemetry probe; reject everything else loudly."""
+        from ..telemetry.probe import TelemetryProbe
+
+        if isinstance(observer, TelemetryProbe):
+            self._probe = observer
+            return
+        raise EngineCapabilityError(
+            f"the sharded engine has no generic observer loop and cannot "
+            f"attach {type(observer).__name__}; fault injectors and "
+            "watchdogs need engine='reference' or engine='compiled' "
+            "(see docs/ARCHITECTURE.md)"
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int | None = None) -> SimulationResult:
+        limit = max_cycles if max_cycles is not None else 10_000_000
+        self._limit = limit
+        if limit <= 0:
+            raise CycleLimitExceeded(_cycle_limit_message(self))
+        probe = self._probe
+        probe_on = probe is not None and probe.enabled
+        record_events = probe_on
+        sample_every = probe.occupancy_every if probe_on else 0
+        sample_series = probe_on and probe.series_enabled
+        self._uid_watermark = message_id_watermark()
+        if self.inline:
+            results = self._run_inline(
+                limit, record_events, sample_every, sample_series
+            )
+        else:
+            results = self._run_processes(
+                limit, record_events, sample_every, sample_series
+            )
+        return self._finalize(results)
+
+    # ------------------------------------------------------------------
+    def _make_engine(self, shard_id: int, injection) -> _ShardEngine:
+        return _ShardEngine(
+            self.algorithm,
+            injection,
+            shard_id,
+            self.partition,
+            self._mirror_injection,
+            tables=self.tables,
+            **self._engine_kwargs,
+        )
+
+    def _run_inline(
+        self,
+        limit: int,
+        record_events: bool,
+        sample_every: int,
+        sample_series: bool,
+    ) -> list[dict]:
+        import copy
+
+        k = self.n_shards
+        # Every shard replays the injection model against its own
+        # replica (own RNG state) and the shared global uid stream —
+        # the counter is rewound to the round's watermark before each
+        # replica so all replicas draw the same uids.
+        runners = []
+        for i in range(k):
+            model = (
+                self.injection
+                if i == 0
+                else copy.deepcopy(self.injection)
+            )
+            runners.append(
+                _ShardRunner(
+                    self._make_engine(i, model),
+                    limit,
+                    record_events,
+                    sample_every,
+                    sample_series,
+                )
+            )
+        hub = _BarrierHub(k)
+        mark = message_id_watermark()
+        for runner in runners:
+            set_message_id_watermark(mark)
+            runner.setup()
+        while True:
+            mark = message_id_watermark()
+            payloads = []
+            for runner in runners:
+                set_message_id_watermark(mark)
+                payloads.append(runner.phase_a())
+            replies = hub.route(payloads)
+            statuses = [
+                runner.phase_b(reply)
+                for runner, reply in zip(runners, replies)
+            ]
+            if statuses[0] == "done":
+                assert all(s == "done" for s in statuses)
+                self.hub_stats = {
+                    "boundary_messages": hub.boundary_messages
+                }
+                return [runner.shard_result() for runner in runners]
+
+    def _run_processes(
+        self,
+        limit: int,
+        record_events: bool,
+        sample_every: int,
+        sample_series: bool,
+    ) -> list[dict]:
+        method = (
+            "fork"
+            if "fork" in mp.get_all_start_methods()
+            else "spawn"
+        )
+        ctx = mp.get_context(method)
+        spec_base = dict(
+            algorithm=self.algorithm,
+            injection=self.injection,
+            partition=self.partition,
+            mirror_injection=self._mirror_injection,
+            engine_kwargs=self._engine_kwargs,
+            limit=limit,
+            record_events=record_events,
+            sample_every=sample_every,
+            sample_series=sample_series,
+            uid_watermark=self._uid_watermark,
+            # Fork shares the parent's tables copy-on-write; spawn
+            # pickles the spec, so the (possibly unpicklable) kernel
+            # tables are rebuilt worker-side instead.
+            tables=self.tables if method == "fork" else None,
+        )
+        conns = []
+        procs = []
+        for i in range(self.n_shards):
+            parent_conn, child_conn = ctx.Pipe()
+            spec = dict(spec_base, shard_id=i)
+            proc = ctx.Process(
+                target=_worker_entry, args=(child_conn, spec), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+        hub = _BarrierHub(self.n_shards)
+        try:
+            while True:
+                msgs = []
+                for conn in conns:
+                    try:
+                        msgs.append(conn.recv())
+                    except EOFError:
+                        msgs.append(
+                            (
+                                "error",
+                                "RuntimeError",
+                                "shard worker exited unexpectedly",
+                            )
+                        )
+                kinds = {m[0] for m in msgs}
+                if kinds == {"barrier"}:
+                    cycles = {m[1] for m in msgs}
+                    if len(cycles) != 1:
+                        raise RuntimeError(
+                            f"shard barrier desync: cycles {sorted(cycles)}"
+                        )
+                    replies = hub.route([m[2] for m in msgs])
+                    for conn, reply in zip(conns, replies):
+                        conn.send(("barrier", reply))
+                    continue
+                if "error" in kinds:
+                    for conn, m in zip(conns, msgs):
+                        if m[0] == "barrier":
+                            try:
+                                conn.send(("abort", "peer shard failed"))
+                            except (BrokenPipeError, OSError):
+                                pass
+                    err = next(m for m in msgs if m[0] == "error")
+                    raise _WORKER_EXCEPTIONS.get(err[1], RuntimeError)(
+                        err[2]
+                    )
+                self.hub_stats = {
+                    "boundary_messages": hub.boundary_messages
+                }
+                return [m[1] for m in msgs]
+        finally:
+            for conn in conns:
+                conn.close()
+            for proc in procs:
+                proc.join(timeout=10)
+                if proc.is_alive():  # pragma: no cover - crash cleanup
+                    proc.terminate()
+                    proc.join(timeout=10)
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+    def _finalize(self, results: list[dict]) -> SimulationResult:
+        results.sort(key=lambda r: r["shard"])
+        first = results[0]
+        # Converged global counters: identical on every shard.
+        self.cycle = first["cycles"]
+        self.injected_count = first["injected"]
+        self.delivered_count = first["delivered"]
+        self.active = first["active"]
+        # Keep the parent's uid stream where a serial run would have
+        # left it (the workers' consumption never touched this
+        # process's counter under fork).
+        set_message_id_watermark(
+            self._uid_watermark + first["uids_consumed"]
+        )
+        merged_lat = sorted(
+            (entry for r in results for entry in r["latency"])
+        )
+        self.latency = LatencyStats(
+            values=[latency for _, _, latency in merged_lat]
+        )
+        occupancy: dict = {}
+        if self.collect_occupancy:
+            mean: dict = {}
+            peak: dict = {}
+            for r in results:
+                mean.update(r["occupancy"]["mean"])
+                peak.update(r["occupancy"]["peak"])
+            occupancy = {"mean": mean, "peak": peak}
+        pattern = getattr(self.injection, "pattern", None)
+        result = SimulationResult(
+            algorithm=self.algorithm.name,
+            topology=self.topology.name,
+            pattern=pattern.name if pattern else "?",
+            injection=self.injection.name,
+            cycles=self.cycle,
+            injected=self.injected_count,
+            delivered=self.delivered_count,
+            latency=self.latency,
+            attempts=first["attempts"],
+            successes=first["successes"],
+            undelivered=self.active,
+            occupancy=occupancy,
+        )
+        self._flush_sharded_telemetry(results, result)
+        return result
+
+    def _flush_sharded_telemetry(
+        self, results: list[dict], result: SimulationResult
+    ) -> None:
+        merged = None
+        if results[0]["events"] is not None:
+            merged = list(
+                heapq.merge(
+                    *(r["events"] for r in results),
+                    key=lambda ev: (ev[1], ev[2]),
+                )
+            )
+        sink = self._events
+        if sink is not None and merged is not None:
+            extend = getattr(sink, "extend", None)
+            if extend is not None:
+                extend(merged)
+            else:
+                for ev in merged:
+                    sink.append(ev)
+        probe = self._probe
+        if probe is None:
+            return
+        if probe.enabled:
+            hist = probe._occ_hist
+            if hist is not None:
+                size = max(r["hist_counts"].size for r in results)
+                if size:
+                    total = np.zeros(size, dtype=np.int64)
+                    for r in results:
+                        counts = r["hist_counts"]
+                        total[: counts.size] += counts
+                    for occ, count in enumerate(total.tolist()):
+                        if count:
+                            hist.observe_many(occ, count)
+            if (
+                probe._inflight is not None
+                and results[0]["last_active_sample"] is not None
+            ):
+                probe._inflight.set(results[0]["last_active_sample"])
+            if probe.series_enabled and results[0]["series"]:
+                self._flush_series(results, probe)
+            self._set_shard_gauges(results, probe.registry)
+        hook = getattr(probe, "on_run_end", None)
+        if hook is not None:
+            hook(self, result)
+
+    def _flush_series(self, results: list[dict], probe) -> None:
+        t = self.tables
+        owner = np.asarray(self.partition.owner, dtype=np.int64)
+        qowner = owner[np.asarray(t.queue_node, dtype=np.int64)]
+        shard_qids = [
+            np.flatnonzero(qowner == r["shard"]) for r in results
+        ]
+        labels = [
+            (t.nodes[t.queue_node[q]], t.queue_kind[q])
+            for q in range(t.n_queues)
+        ]
+        series = probe.occupancy_series
+        full = np.zeros(t.n_queues, dtype=np.int64)
+        for idx in range(len(results[0]["series"])):
+            cycle = results[0]["series"][idx][0]
+            for r, qids in zip(results, shard_qids):
+                sample_cycle, lens = r["series"][idx]
+                if sample_cycle != cycle:
+                    raise RuntimeError("shard series desync")
+                full[qids] = lens
+            for (u, kind), occ in zip(labels, full.tolist()):
+                series.append((cycle, u, kind, occ))
+
+    def _set_shard_gauges(self, results: list[dict], registry) -> None:
+        registry.gauge(
+            "repro_shard_count",
+            help="Shards the last sharded run was partitioned into",
+        ).set(self.n_shards)
+        for r in results:
+            labels = {"shard": str(r["shard"])}
+            registry.gauge(
+                "repro_shard_nodes",
+                labels=labels,
+                help="Nodes owned by this shard",
+            ).set(r["local_nodes"])
+            registry.gauge(
+                "repro_shard_boundary_messages",
+                labels=labels,
+                help="Boundary-link packets this shard sent to peers",
+            ).set(r["boundary_sent"])
+            registry.gauge(
+                "repro_shard_barrier_wait_seconds",
+                labels=labels,
+                help="Worker time spent waiting at the per-cycle barrier",
+            ).set(r["barrier_wait"])
+            registry.gauge(
+                "repro_shard_packets_injected",
+                labels=labels,
+                help="Packets injected at this shard's nodes",
+            ).set(r["local_injected"])
+            registry.gauge(
+                "repro_shard_packets_delivered",
+                labels=labels,
+                help="Packets delivered at this shard's nodes",
+            ).set(r["local_delivered"])
+            counts = r["hist_counts"]
+            samples = int(counts.sum())
+            mean_occ = (
+                float(
+                    (counts * np.arange(counts.size)).sum() / samples
+                )
+                if samples
+                else 0.0
+            )
+            registry.gauge(
+                "repro_shard_mean_occupancy",
+                labels=labels,
+                help="Mean sampled occupancy of this shard's queues",
+            ).set(mean_occ)

@@ -1,0 +1,361 @@
+"""Cross-validation of the sharded multi-process engine.
+
+:class:`ShardedSimulator` must be *byte-identical* to the reference
+:class:`PacketSimulator` on every topology at every shard count — same
+canonical event log, same latency multiset, same cycle counts, same
+injection statistics (`docs/SHARDING.md`).  The identity grid runs the
+full barrier protocol inline (deterministic lockstep in one process);
+a smaller set of cases exercises the real worker processes, and the
+edge cases cover single-node shards, odd shard counts, boundary
+hotspots, partition validation, and the capability errors the engine
+raises instead of silently degrading.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.message import (
+    message_id_watermark,
+    reset_message_ids,
+)
+from repro.routing import (
+    CCCAdaptiveRouting,
+    HypercubeAdaptiveRouting,
+    MeshAdaptiveRouting,
+    ShuffleExchangeRouting,
+    TorusRouting,
+)
+from repro.sim import (
+    DynamicInjection,
+    EngineCapabilityError,
+    HotspotTraffic,
+    PacketSimulator,
+    RandomTraffic,
+    ShardedSimulator,
+    StaticInjection,
+    TopologyPartition,
+    make_rng,
+    partition_topology,
+    shard_count,
+)
+from repro.telemetry import TelemetryProbe
+from repro.topology import (
+    CubeConnectedCycles,
+    Hypercube,
+    Mesh,
+    ShuffleExchange,
+    Torus,
+)
+
+TOPOLOGIES = {
+    "mesh": (lambda: Mesh((5, 5)), MeshAdaptiveRouting),
+    "torus": (lambda: Torus((4, 4)), TorusRouting),
+    "shuffle": (lambda: ShuffleExchange(4), ShuffleExchangeRouting),
+    "hypercube": (lambda: Hypercube(4), HypercubeAdaptiveRouting),
+    "ccc": (lambda: CubeConnectedCycles(3), CCCAdaptiveRouting),
+}
+
+
+def _run_logged(key, make_inj, engine_factory, seed=3):
+    """One instrumented run; returns (event-log bytes, result)."""
+    reset_message_ids()
+    build, alg_cls = TOPOLOGIES[key]
+    topo = build()
+    probe = TelemetryProbe()
+    sim = engine_factory(alg_cls(topo), make_inj(topo))
+    probe.attach(sim)
+    result = sim.run(max_cycles=500_000)
+    return probe.log.to_jsonl(), result
+
+
+def assert_identical(ref, shd):
+    assert sorted(ref.latency.values) == sorted(shd.latency.values)
+    assert ref.cycles == shd.cycles
+    assert ref.injected == shd.injected
+    assert ref.delivered == shd.delivered
+    assert ref.attempts == shd.attempts
+    assert ref.successes == shd.successes
+
+
+def _compare(key, make_inj, shards, inline=True, seed=3):
+    ref_log, ref = _run_logged(key, make_inj, PacketSimulator, seed=seed)
+    shd_log, shd = _run_logged(
+        key,
+        make_inj,
+        lambda a, m: ShardedSimulator(a, m, shards=shards, inline=inline),
+        seed=seed,
+    )
+    assert ref_log == shd_log
+    assert_identical(ref, shd)
+    return shd
+
+
+# ----------------------------------------------------------------------
+# Byte-identity on every topology at 1/2/4 shards
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [1, 2, 4])
+@pytest.mark.parametrize("key", sorted(TOPOLOGIES))
+def test_static_byte_identical(key, shards):
+    _compare(
+        key,
+        lambda t: StaticInjection(2, RandomTraffic(t), make_rng(3)),
+        shards,
+    )
+
+
+@pytest.mark.parametrize("key", ["hypercube", "mesh"])
+def test_dynamic_byte_identical(key):
+    _compare(
+        key,
+        lambda t: DynamicInjection(
+            0.7, RandomTraffic(t), make_rng(1), duration=120, warmup=30
+        ),
+        shards=2,
+    )
+
+
+@pytest.mark.parametrize("key", ["hypercube", "torus"])
+def test_real_processes_byte_identical(key):
+    """Same identity through actual worker processes and pipes."""
+    _compare(
+        key,
+        lambda t: StaticInjection(2, RandomTraffic(t), make_rng(5)),
+        shards=2,
+        inline=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# Edge cases: shard geometry
+# ----------------------------------------------------------------------
+def test_single_node_shards():
+    """Hypercube(2) at 4 shards: every shard owns exactly one node, so
+    every link is a boundary link."""
+    shd = _compare(
+        "hypercube",
+        lambda t: StaticInjection(2, RandomTraffic(t), make_rng(7)),
+        shards=4,
+    )
+    # (rebuild the partition to inspect it; Hypercube(2) has 4 nodes)
+    part = partition_topology(Hypercube(2), 4)
+    assert part.counts().tolist() == [1, 1, 1, 1]
+    assert shd.delivered > 0
+
+
+def test_hypercube2_four_single_node_shards():
+    reset_message_ids()
+    topo = Hypercube(2)
+    ref = PacketSimulator(
+        HypercubeAdaptiveRouting(topo),
+        StaticInjection(2, RandomTraffic(topo), make_rng(9)),
+    ).run(max_cycles=100_000)
+    reset_message_ids()
+    topo2 = Hypercube(2)
+    shd = ShardedSimulator(
+        HypercubeAdaptiveRouting(topo2),
+        StaticInjection(2, RandomTraffic(topo2), make_rng(9)),
+        shards=4,
+        inline=True,
+    ).run(max_cycles=100_000)
+    assert_identical(ref, shd)
+
+
+def test_odd_shard_count():
+    _compare(
+        "mesh",
+        lambda t: StaticInjection(2, RandomTraffic(t), make_rng(11)),
+        shards=3,
+    )
+
+
+def test_boundary_hotspot():
+    """All traffic aimed at one node concentrates load on that shard's
+    boundary; mirrors and barrier accounting must hold up."""
+    _compare(
+        "mesh",
+        lambda t: StaticInjection(
+            2, HotspotTraffic(t, fraction=0.6), make_rng(13)
+        ),
+        shards=2,
+    )
+
+
+def test_occupancy_collection_identical():
+    ref_log, ref = _run_logged(
+        "mesh",
+        lambda t: StaticInjection(3, RandomTraffic(t), make_rng(5)),
+        lambda a, m: PacketSimulator(
+            a, m, collect_occupancy=True, occupancy_sample_every=2
+        ),
+    )
+    shd_log, shd = _run_logged(
+        "mesh",
+        lambda t: StaticInjection(3, RandomTraffic(t), make_rng(5)),
+        lambda a, m: ShardedSimulator(
+            a, m, shards=2, collect_occupancy=True,
+            occupancy_sample_every=2,
+        ),
+    )
+    assert ref_log == shd_log
+    assert_identical(ref, shd)
+    assert ref.occupancy["peak"] == shd.occupancy["peak"]
+    for k, v in ref.occupancy["mean"].items():
+        assert shd.occupancy["mean"][k] == pytest.approx(v)
+
+
+def test_uid_stream_continues_like_serial():
+    """After a sharded run the global uid counter sits exactly where a
+    serial run would have left it."""
+    marks = {}
+    for engine in ("reference", "sharded"):
+        reset_message_ids()
+        topo = Hypercube(3)
+        alg = HypercubeAdaptiveRouting(topo)
+        model = StaticInjection(2, RandomTraffic(topo), make_rng(3))
+        if engine == "reference":
+            PacketSimulator(alg, model).run(max_cycles=100_000)
+        else:
+            ShardedSimulator(alg, model, shards=2, inline=True).run(
+                max_cycles=100_000
+            )
+        marks[engine] = message_id_watermark()
+    assert marks["reference"] == marks["sharded"]
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+def test_partition_kinds():
+    assert partition_topology(Hypercube(4), 2).kind == "dimension-prefix"
+    assert (
+        partition_topology(CubeConnectedCycles(3), 2).kind
+        == "dimension-prefix"
+    )
+    assert partition_topology(Mesh((5, 5)), 2).kind == "block"
+    assert partition_topology(Torus((4, 4)), 2).kind == "block"
+    assert partition_topology(ShuffleExchange(4), 2).kind == "hash"
+
+
+def test_partition_covers_all_nodes():
+    for build, _ in TOPOLOGIES.values():
+        topo = build()
+        part = partition_topology(topo, 3)
+        assert isinstance(part, TopologyPartition)
+        assert int(part.counts().sum()) == topo.num_nodes
+        assert all(0 <= o < 3 for o in part.owner)
+        assert part.describe()
+
+
+def test_partition_rejects_bad_counts():
+    with pytest.raises(ValueError):
+        partition_topology(Hypercube(3), 0)
+    with pytest.raises(ValueError):
+        partition_topology(Hypercube(3), -1)
+    with pytest.raises(ValueError):
+        partition_topology(Hypercube(3), 2.5)
+    with pytest.raises(ValueError):
+        partition_topology(Hypercube(3), True)
+
+
+def test_partition_clamps_excess_shards():
+    """More shards than nodes: warn and clamp rather than spawn idle
+    workers."""
+    with pytest.warns(UserWarning, match="clamp"):
+        part = partition_topology(Hypercube(2), 9)
+    assert part.n_shards == 4
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert partition_topology(Hypercube(2), 4).n_shards == 4
+
+
+def test_shard_count_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARDS", "3")
+    assert shard_count() == 3
+    assert shard_count(8) == 3  # env wins over the default
+    monkeypatch.setenv("REPRO_SHARDS", "0")
+    with pytest.raises(ValueError):
+        shard_count()
+    monkeypatch.setenv("REPRO_SHARDS", "two")
+    with pytest.raises(ValueError):
+        shard_count()
+    monkeypatch.delenv("REPRO_SHARDS")
+    assert shard_count(8) == 8
+
+
+# ----------------------------------------------------------------------
+# Capability errors and engine selection
+# ----------------------------------------------------------------------
+def _small_setup():
+    topo = Hypercube(3)
+    return (
+        HypercubeAdaptiveRouting(topo),
+        StaticInjection(1, RandomTraffic(topo), make_rng(0)),
+    )
+
+
+def test_trace_rejected():
+    alg, model = _small_setup()
+    with pytest.raises(EngineCapabilityError, match="trace"):
+        ShardedSimulator(alg, model, shards=2, trace=True)
+
+
+def test_fault_observer_rejected():
+    from repro.faults import DeadlockWatchdog
+
+    alg, model = _small_setup()
+    sim = ShardedSimulator(alg, model, shards=2)
+    with pytest.raises(EngineCapabilityError):
+        sim.add_observer(DeadlockWatchdog())
+
+
+def test_fault_harness_refuses_sharded():
+    """make_fault_simulator must raise, not silently drop the schedule."""
+    from repro.faults import FaultSchedule
+    from repro.faults.experiments import make_fault_simulator
+
+    alg, model = _small_setup()
+    schedule = FaultSchedule.healthy(alg.topology)
+    with pytest.raises(EngineCapabilityError, match="fault"):
+        make_fault_simulator(alg, model, schedule, engine="sharded")
+
+
+def test_fault_harness_refuses_sharded_env(monkeypatch):
+    from repro.faults import FaultSchedule
+    from repro.faults.experiments import make_fault_simulator
+
+    monkeypatch.setenv("REPRO_ENGINE", "sharded")
+    alg, model = _small_setup()
+    with pytest.raises(EngineCapabilityError):
+        make_fault_simulator(
+            alg, model, FaultSchedule.healthy(alg.topology)
+        )
+
+
+def test_build_simulator_sharded_engine():
+    from repro.experiments import build_simulator
+
+    alg, model = _small_setup()
+    sim = build_simulator(alg, model, engine="sharded", shards=2)
+    assert type(sim) is ShardedSimulator
+    assert sim.n_shards == 2
+
+
+def test_engine_env_override_sharded(monkeypatch):
+    from repro.experiments import build_simulator
+
+    monkeypatch.setenv("REPRO_ENGINE", "sharded")
+    monkeypatch.setenv("REPRO_SHARDS", "2")
+    alg, model = _small_setup()
+    sim = build_simulator(alg, model)
+    assert type(sim) is ShardedSimulator
+    assert sim.n_shards == 2
+
+
+def test_zero_cycle_limit_raises():
+    from repro.sim import CycleLimitExceeded
+
+    alg, model = _small_setup()
+    sim = ShardedSimulator(alg, model, shards=2, inline=True)
+    with pytest.raises(CycleLimitExceeded):
+        sim.run(max_cycles=0)
