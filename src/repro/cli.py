@@ -33,6 +33,14 @@ the event logs are byte-identical (docs/OBSERVABILITY.md)::
 
     python -m repro telemetry --n 4 --out telemetry-out
     python -m repro telemetry --n 4 --faults 3 --engine both
+
+Run a streaming traffic service from a YAML scenario, with a live
+``/metrics`` + ``/healthz`` endpoint; SIGINT/SIGTERM drain gracefully
+(docs/SERVING.md)::
+
+    python -m repro serve examples/scenarios/smoke.yaml --port 9100
+    python -m repro serve examples/scenarios/smoke.yaml --validate
+    python -m repro serve scenario.yaml --duration 5000 --record out/
 """
 
 from __future__ import annotations
@@ -401,6 +409,43 @@ def cmd_lint(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_serve(args) -> int:
+    """``repro serve``: run a streaming traffic service from a scenario.
+
+    Validates the YAML up front (``--validate`` stops there), builds
+    the requested engine through the ordinary factory, and serves the
+    open-loop workload with admission control and a live ``/metrics``
+    + ``/healthz`` endpoint until the duration budget runs out or a
+    SIGINT/SIGTERM triggers the graceful drain (docs/SERVING.md).
+    """
+    from .serve import ScenarioError, TrafficService, load_scenario
+
+    try:
+        scenario = load_scenario(args.scenario)
+    except ScenarioError as exc:
+        print(f"scenario invalid: {exc}", file=sys.stderr)
+        return 2
+    if args.validate:
+        print(f"scenario ok: {scenario.describe()}")
+        return 0
+    try:
+        service = TrafficService(
+            scenario,
+            engine=args.engine,
+            record=True if args.record else None,
+            emit=print,
+        )
+    except Exception as exc:
+        print(f"cannot serve: {exc}", file=sys.stderr)
+        return 2
+    if args.duration is not None:
+        service.model.duration = args.duration
+    service.install_signal_handlers()
+    return service.serve(
+        port=args.port, host=args.host, outdir=args.record
+    )
+
+
 def cmd_report(args) -> int:
     """``repro report``: emit the full Markdown reproduction report."""
     from .analysis.report import full_report
@@ -524,6 +569,49 @@ def build_parser() -> argparse.ArgumentParser:
     tm.add_argument("--faults", type=int, default=0,
                     help="inject this many random link faults")
     tm.set_defaults(fn=cmd_telemetry)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run a streaming traffic service from a YAML scenario",
+    )
+    sv.add_argument("scenario", help="scenario YAML file (docs/SERVING.md)")
+    sv.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate the scenario and exit without serving",
+    )
+    sv.add_argument(
+        "--engine",
+        default=None,
+        choices=("auto", "reference", "compiled", "fast", "vector",
+                 "sharded"),
+        help="override the scenario's engine (fast/sharded are refused "
+        "with an explanation; see docs/SERVING.md)",
+    )
+    sv.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve /metrics + /healthz on this port (0 = ephemeral; "
+        "omit for no endpoint)",
+    )
+    sv.add_argument(
+        "--host", default="127.0.0.1", help="endpoint bind address"
+    )
+    sv.add_argument(
+        "--duration",
+        type=_positive_int,
+        default=None,
+        help="override the scenario's duration_cycles budget",
+    )
+    sv.add_argument(
+        "--record",
+        metavar="OUTDIR",
+        default=None,
+        help="record the full event log and write artifacts to OUTDIR "
+        "(byte-identical for identical scenario + seed + budget)",
+    )
+    sv.set_defaults(fn=cmd_serve)
 
     r = sub.add_parser(
         "report", help="regenerate every table/figure as one Markdown report"

@@ -54,6 +54,10 @@ class Message:
     #: Pure functions of the key, so they never need invalidation.
     plan_sig: Any = None
     plan: Any = None
+    #: Service-class tag for open-loop serving workloads
+    #: (`repro.serve`): engines never read it, the telemetry layer
+    #: buckets latency by it.  ``None`` for batch-experiment traffic.
+    qos: str | None = None
 
     @property
     def delivered(self) -> bool:

@@ -84,6 +84,11 @@ def make_fault_simulator(
         raise EngineCapabilityError(
             "engine='sharded' cannot run fault schedules: fault epochs "
             "are global state the shard workers do not replicate yet. "
+            "Shard-aware fault replication (broadcasting the epoch "
+            "schedule to every worker and merging per-shard drop "
+            "events deterministically) is the tracked follow-up — see "
+            "ROADMAP.md 'Shard-aware fault replication' and the "
+            "'Capability limits' section of docs/SHARDING.md. "
             "Use engine='reference' or engine='compiled' (or unset "
             f"REPRO_ENGINE) for fault experiments.\n{ENGINE_MATRIX}"
         )

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Hashable
 import numpy as np
 
 from ..core.message import Message
+from .sampling import bernoulli_fires
 from .traffic import TrafficPattern
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -125,12 +126,10 @@ class DynamicInjection(InjectionModel):
 
     def attempt(self, sim: "PacketSimulator", cycle: int) -> None:
         alg = sim.algorithm
-        nodes = sim.nodes
-        if self.rate >= 1.0:
-            tries = nodes
-        else:
-            draws = self.rng.random(len(nodes))
-            tries = [u for u, x in zip(nodes, draws) if x < self.rate]
+        # The shared sampler consumes the RNG exactly as this model
+        # always has (one random() vector, then one pattern draw per
+        # firing node below), so extraction changed no byte of any log.
+        tries = bernoulli_fires(sim.nodes, self.rate, self.rng)
         measuring = cycle >= self.warmup
         for u in tries:
             dst = self.pattern.draw(u, self.rng)

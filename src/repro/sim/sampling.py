@@ -1,0 +1,103 @@
+"""Seeded arrival/destination sampling shared by injection models.
+
+Two call sites need the same primitive — "which nodes fire a packet
+this cycle, and to where": the closed-loop
+:class:`~repro.sim.injection.DynamicInjection` model (paper, Section 7)
+and the open-loop workload driver of the streaming traffic service
+(:mod:`repro.serve.workloads`).  Both must consume the RNG in exactly
+the same order, because byte-identical replays across engines hinge on
+identical draw sequences; keeping the logic in one place makes that a
+structural property instead of a copy-paste invariant.
+
+Also here: the user-count distributions of the serving scenarios
+(Poisson / normal / log-normal), parameterized by *mean* (and variance
+where it applies) so a load shape can scale the mean without changing
+the distribution family.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from .traffic import TrafficPattern
+
+#: Distribution names accepted for user-count sampling.
+USER_DISTRIBUTIONS = ("poisson", "normal", "log_normal")
+
+
+def bernoulli_fires(
+    nodes: Sequence[Hashable], rate: float, rng: np.random.Generator
+) -> Sequence[Hashable]:
+    """Nodes that attempt an injection this cycle (Bernoulli(rate) each).
+
+    ``rate >= 1`` short-circuits to *every* node without consuming any
+    RNG, matching the saturated fast path the paper's ``lambda = 1``
+    runs always took; otherwise exactly one ``rng.random(len(nodes))``
+    vector is drawn, preserving :class:`DynamicInjection`'s historical
+    draw sequence byte for byte.
+    """
+    if rate >= 1.0:
+        return nodes
+    if rate <= 0.0:
+        return ()
+    draws = rng.random(len(nodes))
+    return [u for u, x in zip(nodes, draws) if x < rate]
+
+
+def draw_arrivals(
+    nodes: Sequence[Hashable],
+    rate: float,
+    pattern: TrafficPattern,
+    rng: np.random.Generator,
+) -> list[tuple[Hashable, Hashable]]:
+    """One cycle of seeded ``(source, destination)`` arrival offers.
+
+    Destinations are drawn in firing-node order (one ``pattern.draw``
+    per firing node, after the single Bernoulli vector), which is the
+    exact RNG consumption order of the closed-loop model.  Fixed points
+    (``dst == src``) are filtered out here — patterns return them to
+    mean "this node stays silent".
+    """
+    offers = []
+    for u in bernoulli_fires(nodes, rate, rng):
+        dst = pattern.draw(u, rng)
+        if dst != u:
+            offers.append((u, dst))
+    return offers
+
+
+def draw_user_count(
+    distribution: str,
+    mean: float,
+    variance: float | None,
+    rng: np.random.Generator,
+) -> int:
+    """One sample of an active-user count (non-negative integer).
+
+    ``poisson`` ignores ``variance`` (it equals the mean by
+    definition); ``normal`` draws N(mean, variance) clipped at zero;
+    ``log_normal`` solves the underlying ``mu``/``sigma`` so the
+    *arithmetic* mean and variance of the samples match the configured
+    ones.  ``mean <= 0`` yields 0 without consuming RNG only when the
+    distribution could never produce a positive count.
+    """
+    if distribution == "poisson":
+        return int(rng.poisson(max(0.0, mean)))
+    if variance is None:
+        variance = mean
+    if distribution == "normal":
+        sigma = math.sqrt(max(0.0, variance))
+        return max(0, int(round(rng.normal(mean, sigma))))
+    if distribution == "log_normal":
+        if mean <= 0.0:
+            return 0
+        sigma2 = math.log(1.0 + max(0.0, variance) / (mean * mean))
+        mu = math.log(mean) - sigma2 / 2.0
+        return max(0, int(round(rng.lognormal(mu, math.sqrt(sigma2)))))
+    raise ValueError(
+        f"unknown user-count distribution {distribution!r}; expected one "
+        f"of {USER_DISTRIBUTIONS}"
+    )

@@ -72,9 +72,12 @@ class _MetricsSink:
         "latency",
         "epochs",
         "_last_kind",
+        "_registry",
+        "_qos_of",
+        "_qos_hists",
     )
 
-    def __init__(self, registry: MetricRegistry):
+    def __init__(self, registry: MetricRegistry, qos_of=None):
         self.injected = registry.counter(
             "repro_packets_injected_total",
             help="Packets that entered an injection queue",
@@ -109,6 +112,12 @@ class _MetricsSink:
             help="Observed changes of the live fault set",
         )
         self._last_kind: dict[int, str] = {}
+        # Service-class latency: ``qos_of(uid)`` resolves (and may
+        # forget) a delivered packet's class; one labeled histogram
+        # per class, created on first delivery.
+        self._registry = registry
+        self._qos_of = qos_of
+        self._qos_hists: dict[str, object] = {}
 
     def append(self, ev: tuple) -> None:
         kind = ev[0]
@@ -122,6 +131,23 @@ class _MetricsSink:
         elif kind == "deliver":
             self.delivered.inc()
             self.latency.observe(ev[4])
+            if self._qos_of is not None:
+                qos = self._qos_of(ev[2])
+                if qos is not None:
+                    hist = self._qos_hists.get(qos)
+                    if hist is None:
+                        hist = self._qos_hists[qos] = (
+                            self._registry.histogram(
+                                "repro_qos_latency_cycles",
+                                LATENCY_BUCKETS,
+                                labels={"qos": qos},
+                                help=(
+                                    "Injection-to-delivery latency per "
+                                    "service class (repro.serve)"
+                                ),
+                            )
+                        )
+                    hist.observe(ev[4])
             self._last_kind.pop(ev[2], None)
         elif kind == "drop":
             self.dropped.inc()
@@ -154,6 +180,12 @@ class TelemetryProbe:
     enabled:
         ``False`` turns the whole probe into a no-op observer (the
         disabled-overhead configuration the perf benchmark measures).
+    qos_of:
+        Optional ``uid -> service class`` resolver (may pop its entry:
+        it is called exactly once per delivered packet).  When set,
+        delivery latency is additionally observed into
+        ``repro_qos_latency_cycles{qos=...}`` — the per-class latency
+        the serving layer (`repro.serve`) exposes on ``/metrics``.
     """
 
     def __init__(
@@ -163,6 +195,7 @@ class TelemetryProbe:
         series: bool | None = None,
         occupancy_every: int = 1,
         enabled: bool = True,
+        qos_of=None,
     ):
         self.enabled = enabled
         self.events = events and enabled
@@ -173,6 +206,7 @@ class TelemetryProbe:
         self.registry = (
             registry if registry is not None else MetricRegistry(enabled)
         )
+        self.qos_of = qos_of if enabled else None
         self.log: EventLog | None = EventLog() if self.events else None
         self.occupancy_series: list[tuple[int, Hashable, str, int]] = []
         self.summary: dict | None = None
@@ -199,7 +233,7 @@ class TelemetryProbe:
         if self.events:
             sim._events = self.log.raw
         else:
-            self._sink = _MetricsSink(self.registry)
+            self._sink = _MetricsSink(self.registry, qos_of=self.qos_of)
             sim._events = self._sink
         self._occ_hist = self.registry.histogram(
             "repro_queue_occupancy",
@@ -233,7 +267,7 @@ class TelemetryProbe:
         if self.events:
             # Fold the recorded log into metrics through the same sink
             # the streaming mode uses.
-            sink = _MetricsSink(self.registry)
+            sink = _MetricsSink(self.registry, qos_of=self.qos_of)
             for ev in self.log.raw:
                 sink.append(ev)
         reg = self.registry

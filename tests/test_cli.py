@@ -216,3 +216,67 @@ def test_cli_lint_graph_synthesize(tmp_path, capsys):
     assert main(["lint", "--graph", str(edges), "--synthesize"]) == 0
     out = capsys.readouterr().out
     assert "synthesized scheme" in out and "static-DAG=ok" in out
+
+
+# ----------------------------------------------------------------------
+# repro serve (docs/SERVING.md)
+# ----------------------------------------------------------------------
+SERVE_YAML = """
+name: cli-serve
+seed: 5
+topology: {family: hypercube, size: 3}
+populations:
+  - name: p
+    qos: gold
+    users: {mean: 20}
+    rate_per_user: 0.02
+service:
+  duration_cycles: 150
+  tick_cycles: 25
+"""
+
+
+def _scenario_file(tmp_path, text=SERVE_YAML):
+    pytest.importorskip("yaml")
+    path = tmp_path / "scenario.yaml"
+    path.write_text(text)
+    return str(path)
+
+
+def test_cli_serve_validate_only(tmp_path, capsys):
+    assert main(["serve", _scenario_file(tmp_path), "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "scenario ok" in out and "cli-serve" in out
+
+
+def test_cli_serve_validate_rejects_bad_scenario(tmp_path, capsys):
+    bad = SERVE_YAML.replace("rate_per_user: 0.02", "rate_per_user: -1")
+    assert main(["serve", _scenario_file(tmp_path, bad), "--validate"]) == 2
+    err = capsys.readouterr().err
+    assert "populations[0].rate_per_user" in err
+
+
+def test_cli_serve_missing_file(tmp_path, capsys):
+    pytest.importorskip("yaml")
+    assert main(["serve", str(tmp_path / "nope.yaml")]) == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_cli_serve_runs_and_records(tmp_path, capsys):
+    out_dir = tmp_path / "artifacts"
+    rc = main([
+        "serve", _scenario_file(tmp_path),
+        "--record", str(out_dir), "--duration", "100",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "drained at cycle" in out
+    assert (out_dir / "events.jsonl").exists()
+    assert (out_dir / "metrics.prom").exists()
+
+
+def test_cli_serve_refuses_sharded_engine(tmp_path, capsys):
+    rc = main(["serve", _scenario_file(tmp_path), "--engine", "sharded"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "cannot serve" in err and "SHARDING" in err
